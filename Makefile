@@ -1,0 +1,35 @@
+# Convenience targets for the Accelerated Ring reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench bench-full examples figures clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -q -x --ignore=tests/test_properties.py \
+		--ignore=tests/test_properties_model.py \
+		--ignore=tests/test_packing_properties.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+figures:
+	$(PYTHON) -m repro.cli all
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf bench_results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,18 @@
+"""Benchmark-suite plumbing.
+
+Every figure benchmark registers its reproduced series in
+``repro.bench.report``; this hook prints the full paper-vs-measured
+report in the pytest terminal summary (so `pytest benchmarks/
+--benchmark-only` always shows the tables), and the runner also
+persists them under bench_results/.
+"""
+
+from repro.bench import render_all
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    report = render_all()
+    if not report.strip():
+        return
+    terminalreporter.section("reproduced paper figures (paper vs measured)")
+    terminalreporter.write_line(report)

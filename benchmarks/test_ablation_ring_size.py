@@ -1,0 +1,64 @@
+"""Ablation: ring size (extension bench).
+
+The paper evaluates 8 servers; downstream users ask how the protocol
+scales with ring size.  Token latency grows with the number of hops,
+while aggregate throughput holds (every node still receives everything,
+so per-node CPU, not ring length, bounds throughput).  The accelerated
+protocol's latency advantage *grows* with ring size — more hops means
+more per-hop dead time for the original protocol to waste.
+"""
+
+from repro.bench import headline, tuned_configs
+from repro.core import Service
+from repro.net import GIGABIT
+from repro.sim import LIBRARY, run_point
+
+SIZES = (4, 8, 16, 24)
+
+
+def run_sizes():
+    configs = tuned_configs(GIGABIT)
+    results = {}
+    for n_nodes in SIZES:
+        for protocol, config in configs.items():
+            results[(n_nodes, protocol)] = run_point(
+                config, LIBRARY, GIGABIT, 500e6,
+                n_nodes=n_nodes, duration_s=0.1, warmup_s=0.03,
+            )
+    return results
+
+
+def test_ring_size_ablation(benchmark):
+    results = benchmark.pedantic(run_sizes, rounds=1, iterations=1)
+
+    # Everyone sustains the load at every size.
+    for key, result in results.items():
+        assert not result.saturated, key
+
+    # Latency grows with ring size for both protocols...
+    for protocol in ("original", "accelerated"):
+        latencies = [results[(n, protocol)].latency_us for n in SIZES]
+        assert latencies == sorted(latencies), (protocol, latencies)
+
+    # ...but the accelerated advantage grows with the hop count.
+    gaps = {
+        n: results[(n, "original")].latency_us
+        - results[(n, "accelerated")].latency_us
+        for n in SIZES
+    }
+    assert gaps[24] > gaps[4], gaps
+    for n in SIZES:
+        assert results[(n, "accelerated")].latency_us < \
+            results[(n, "original")].latency_us, n
+
+    headline(
+        "* ablation ring size @500 Mbps 1G library: "
+        + "; ".join(
+            "n=%d orig %.0fus accel %.0fus" % (
+                n,
+                results[(n, "original")].latency_us,
+                results[(n, "accelerated")].latency_us,
+            )
+            for n in SIZES
+        )
+    )

@@ -1,0 +1,93 @@
+"""Figure 1: Agreed delivery latency vs throughput, 1-gigabit network.
+
+Paper shape: six curves (library/daemon/Spread x original/accelerated).
+The original protocol's latency climbs steeply in the 500-700 Mbps
+range; the accelerated protocol stays flat to ~900 Mbps and practically
+saturates the network (>90% payload utilization).  Spread with the
+original protocol has distinctly higher latency than the prototypes
+(inline client delivery on the token's critical path); that gap
+disappears under acceleration.
+"""
+
+from repro.bench import (
+    headline,
+    make_fig1,
+    persist_figure,
+    register,
+    run_sweep,
+    series_label,
+)
+
+
+def run_figure():
+    figure = run_sweep(make_fig1())
+    register(figure)
+    persist_figure(figure)
+    return figure
+
+
+def test_fig1_agreed_1g(benchmark):
+    figure = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+
+    spread_orig = figure.series["spread/original"]
+    spread_accel = figure.series["spread/accelerated"]
+    lib_orig = figure.series["library/original"]
+    lib_accel = figure.series["library/accelerated"]
+
+    # --- accelerated saturates the 1G network (paper: >920 Mbps). ---
+    accel_max = spread_accel.max_stable_throughput()
+    assert accel_max >= 850, "accelerated Spread max %.0f < 850 Mbps" % accel_max
+    headline(
+        "* fig1 1G Spread max throughput: paper >920 Mbps accel vs ~800 orig; "
+        "measured %.0f accel vs %.0f orig"
+        % (accel_max, spread_orig.max_stable_throughput())
+    )
+
+    # --- original hits its knee well below the accelerated protocol. ---
+    # At 800 Mbps offered, the original's latency must be several times
+    # the accelerated protocol's (paper: 720 us accel vs rapidly climbing
+    # original at this range).
+    orig_800 = spread_orig.latency_at(800)
+    accel_800 = spread_accel.latency_at(800)
+    assert orig_800 is not None and accel_800 is not None
+    assert accel_800 < orig_800 * 0.6, (
+        "accelerated latency at 800 Mbps (%.0f us) should be <60%% of the "
+        "original's (%.0f us)" % (accel_800, orig_800)
+    )
+
+    # --- simultaneous improvement (the paper's headline form). ---
+    # The paper reports Spread improving throughput 60% and latency >45%
+    # simultaneously (800 Mbps @720us accel vs 500 Mbps @1.3ms orig).
+    # Compare accel latency at a HIGHER throughput to the original's at
+    # a LOWER one.
+    orig_500 = spread_orig.latency_at(500)
+    assert orig_500 is not None
+    assert accel_800 < orig_500, (
+        "accelerated at 800 Mbps (%.0f us) should beat original at "
+        "500 Mbps (%.0f us)" % (accel_800, orig_500)
+    )
+    headline(
+        "* fig1 simultaneous improvement: paper accel@800 (720us) beats "
+        "orig@500 (1300us); measured accel@800 %.0fus vs orig@500 %.0fus"
+        % (accel_800, orig_500)
+    )
+
+    # --- Spread-vs-prototype gap exists under original, vanishes under
+    #     acceleration (paper Section IV-A-1 discussion). ---
+    low = 100.0
+    spread_gap_orig = spread_orig.latency_at(low) - lib_orig.latency_at(low)
+    spread_gap_accel = spread_accel.latency_at(low) - lib_accel.latency_at(low)
+    assert spread_gap_orig > 0
+    assert spread_gap_accel < spread_gap_orig, (
+        "acceleration should shrink the Spread-vs-library latency gap "
+        "(orig gap %.0f us, accel gap %.0f us)"
+        % (spread_gap_orig, spread_gap_accel)
+    )
+
+    # --- every curve is monotone-ish: latency grows with load. ---
+    for label, series in figure.series.items():
+        stable = series.stable_points()
+        assert len(stable) >= 3, "series %s has too few stable points" % label
+        assert stable[-1].latency_us > stable[0].latency_us, (
+            "latency did not grow with load for %s" % label
+        )

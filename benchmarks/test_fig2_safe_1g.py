@@ -1,0 +1,63 @@
+"""Figure 2: Safe delivery latency vs throughput, 1-gigabit network.
+
+Paper shape: Safe latency is several times Agreed latency (stability
+needs ~two extra token rounds).  The original protocol supports up to
+~600 Mbps before latency rises sharply (3.7-4.7 ms there); the
+accelerated protocol reaches 800 Mbps at roughly half that latency and
+achieves over 900 Mbps in all implementations.
+"""
+
+from repro.bench import (
+    headline,
+    make_fig2,
+    persist_figure,
+    register,
+    run_sweep,
+)
+
+
+def run_figure():
+    figure = run_sweep(make_fig2())
+    register(figure)
+    persist_figure(figure)
+    return figure
+
+
+def test_fig2_safe_1g(benchmark):
+    figure = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+
+    for profile in ("library", "daemon", "spread"):
+        orig = figure.series["%s/original" % profile]
+        accel = figure.series["%s/accelerated" % profile]
+
+        # Accelerated achieves >850 Mbps of Safe traffic (paper: >900).
+        accel_max = accel.max_stable_throughput()
+        assert accel_max >= 800, (
+            "%s accelerated Safe max %.0f < 800 Mbps" % (profile, accel_max)
+        )
+
+        # Simultaneous improvement: accel at 800 beats orig at 500.
+        accel_800 = accel.latency_at(800)
+        orig_500 = orig.latency_at(500)
+        assert accel_800 is not None and orig_500 is not None
+        assert accel_800 < orig_500, (
+            "%s: accel@800 (%.0f us) should beat orig@500 (%.0f us)"
+            % (profile, accel_800, orig_500)
+        )
+
+    spread_accel = figure.series["spread/accelerated"]
+    spread_orig = figure.series["spread/original"]
+    headline(
+        "* fig2 1G Safe: paper orig ~600 Mbps @3.7-4.7ms vs accel 800 @~2ms; "
+        "measured orig@500 %.0fus, accel@800 %.0fus, accel max %.0f Mbps"
+        % (
+            spread_orig.latency_at(500),
+            spread_accel.latency_at(800),
+            spread_accel.max_stable_throughput(),
+        )
+    )
+
+    # Safe latencies must sit well above the Agreed ballpark at the same
+    # load (fig1 measures ~100 us at 300 Mbps; Safe needs extra rounds).
+    assert spread_accel.latency_at(300) > 150
+    assert spread_orig.latency_at(300) > 300

@@ -1,0 +1,63 @@
+"""Figure 5: Safe delivery latency vs throughput, 10-gigabit network.
+
+Paper shape: same implementation ordering as Figure 3 with higher
+latencies for the stronger service and slightly higher maxima (delivery
+is off the critical path for Safe).  Daemon prototype: original 2.5
+Gbps @1.5ms vs accelerated 3.1 Gbps @980us — both axes improved.
+"""
+
+from repro.bench import (
+    headline,
+    make_fig5,
+    persist_figure,
+    register,
+    run_sweep,
+)
+
+
+def run_figure():
+    figure = run_sweep(make_fig5())
+    register(figure)
+    persist_figure(figure)
+    return figure
+
+
+def test_fig5_safe_10g(benchmark):
+    figure = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+
+    maxima = {
+        profile: figure.series["%s/accelerated" % profile].max_stable_throughput()
+        for profile in ("library", "daemon", "spread")
+    }
+    assert maxima["library"] > maxima["daemon"] > maxima["spread"], maxima
+
+    # Acceleration improves latency at moderate-to-high load for every
+    # implementation (the low-load crossover is Figure 7's subject).
+    for profile in ("library", "daemon", "spread"):
+        orig = figure.series["%s/original" % profile]
+        accel = figure.series["%s/accelerated" % profile]
+        for point in orig.stable_points():
+            if point.offered_mbps < 1000:
+                continue
+            accel_latency = accel.latency_at(point.offered_mbps)
+            if accel_latency is None:
+                continue
+            assert accel_latency < point.latency_us, (
+                "%s @%.0f Mbps: accel %.0f us not below orig %.0f us"
+                % (profile, point.offered_mbps, accel_latency, point.latency_us)
+            )
+
+    daemon_orig = figure.series["daemon/original"]
+    daemon_accel = figure.series["daemon/accelerated"]
+    orig_2000 = daemon_orig.latency_at(2000)
+    accel_3000 = daemon_accel.latency_at(3000)
+    assert accel_3000 is not None and orig_2000 is not None
+    assert accel_3000 < orig_2000 * 1.1, (
+        "daemon Safe: accel@3G (%.0f us) should be at or below orig@2G "
+        "(%.0f us)" % (accel_3000, orig_2000)
+    )
+    headline(
+        "* fig5 daemon Safe: paper accel 3.1G@980us vs orig 2.5G@1.5ms; "
+        "measured accel@3G %.0fus vs orig@2G %.0fus"
+        % (accel_3000, orig_2000)
+    )

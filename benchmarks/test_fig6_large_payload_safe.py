@@ -1,0 +1,50 @@
+"""Figure 6: 1350 vs 8850-byte payloads, 10G, Safe, accelerated.
+
+Paper shape: same as Figure 4 for the Safe service — the benefit of
+larger datagrams comes from amortizing processing costs, so it is
+ordered by implementation overhead and similar for Safe delivery.
+"""
+
+from repro.bench import (
+    headline,
+    make_fig6,
+    persist_figure,
+    register,
+    run_sweep,
+)
+
+
+def run_figures():
+    small_spec, large_spec = make_fig6()
+    small = run_sweep(small_spec)
+    large = run_sweep(large_spec)
+    register(small)
+    register(large)
+    persist_figure(small)
+    persist_figure(large)
+    return small, large
+
+
+def test_fig6_large_payloads_safe(benchmark):
+    small, large = benchmark.pedantic(run_figures, rounds=1, iterations=1)
+
+    gains = {}
+    for profile in ("library", "daemon", "spread"):
+        small_max = small.series["%s/accelerated" % profile].max_stable_throughput()
+        large_max = large.series["%s/accelerated" % profile].max_stable_throughput()
+        assert large_max > small_max * 1.2, (
+            "%s Safe: 8850B max %.0f should clearly exceed 1350B max %.0f"
+            % (profile, large_max, small_max)
+        )
+        gains[profile] = large_max / small_max
+
+    assert gains["spread"] > gains["library"], gains
+    headline(
+        "* fig6 8850B gains (Safe): paper 'improvements similar to Agreed'; "
+        "measured Spread +%.0f%% / daemon +%.0f%% / library +%.0f%%"
+        % (
+            (gains["spread"] - 1) * 100,
+            (gains["daemon"] - 1) * 100,
+            (gains["library"] - 1) * 100,
+        )
+    )

@@ -1,0 +1,86 @@
+"""Figure 7: Safe delivery latency at low throughputs, 10-gigabit.
+
+The paper's most distinctive shape: at very low load the ORIGINAL
+protocol has lower Safe latency, because under acceleration the token
+aru typically cannot be raised in step with seq, costing up to an extra
+round, and at low load rounds are already fast so the extra round
+dominates.  At 100 Mbps (1% utilization) the paper measures the
+accelerated protocol ~20% slower (620 vs 520 us); by 4-5% utilization
+(400-500 Mbps) the accelerated protocol is consistently faster.
+"""
+
+from repro.bench import (
+    headline,
+    make_fig7,
+    persist_figure,
+    register,
+    run_sweep,
+)
+
+
+def run_figure():
+    figure = run_sweep(make_fig7())
+    register(figure)
+    persist_figure(figure)
+    return figure
+
+
+def crossover_point(orig, accel, tolerance=0.02):
+    """First offered load where accelerated matches/beats the original.
+
+    A 2% tolerance treats statistically equal latencies as crossed —
+    the curves approach each other asymptotically near the crossover.
+    """
+    for point in orig.points:
+        accel_latency = accel.latency_at(point.offered_mbps)
+        if accel_latency is None:
+            continue
+        if accel_latency <= point.latency_us * (1 + tolerance):
+            return point.offered_mbps
+    return None
+
+
+def test_fig7_low_throughput_crossover(benchmark):
+    figure = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+
+    for profile in ("spread", "daemon"):
+        orig = figure.series["%s/original" % profile]
+        accel = figure.series["%s/accelerated" % profile]
+
+        # At 1% utilization the original is FASTER (the aru lag round).
+        orig_100 = orig.latency_at(100)
+        accel_100 = accel.latency_at(100)
+        assert orig_100 < accel_100, (
+            "%s @100 Mbps: original (%.0f us) should beat accelerated "
+            "(%.0f us)" % (profile, orig_100, accel_100)
+        )
+        # The penalty is a fraction of a round, not a blowup (paper ~20%).
+        assert accel_100 < orig_100 * 2.0, (
+            "%s @100 Mbps: accelerated penalty too large (%.0f vs %.0f us)"
+            % (profile, accel_100, orig_100)
+        )
+
+        # The crossover falls in the low hundreds of Mbps (paper: by
+        # 400-500 Mbps the accelerated protocol consistently wins).
+        cross = crossover_point(orig, accel)
+        assert cross is not None, "%s: no crossover found" % profile
+        assert cross <= 800, (
+            "%s: crossover at %.0f Mbps, later than the paper's 400-500"
+            % (profile, cross)
+        )
+
+        # And at 800 Mbps the accelerated protocol clearly wins.
+        assert accel.latency_at(800) < orig.latency_at(800), profile
+
+    spread_orig = figure.series["spread/original"]
+    spread_accel = figure.series["spread/accelerated"]
+    headline(
+        "* fig7 low-load crossover (Spread): paper 520us orig vs 620us accel "
+        "@100 Mbps, crossover 400-500 Mbps; measured %.0fus vs %.0fus, "
+        "crossover @%.0f Mbps"
+        % (
+            spread_orig.latency_at(100),
+            spread_accel.latency_at(100),
+            crossover_point(spread_orig, spread_accel),
+        )
+    )

@@ -1,0 +1,103 @@
+"""Headline numbers from the abstract and Section IV text.
+
+Reproduces the maxima table the paper quotes directly (rather than as a
+figure): maximum throughput per implementation and protocol on both
+networks, with 1350-byte and 8850-byte payloads.
+"""
+
+import pytest
+
+from repro.bench import headline, tuned_configs
+from repro.core import Service
+from repro.net import GIGABIT, TEN_GIGABIT
+from repro.sim import DAEMON, LIBRARY, SPREAD, run_point
+
+PROFILES = {"library": LIBRARY, "daemon": DAEMON, "spread": SPREAD}
+
+
+def probe_max(profile, spec, config, payload_size, ladder,
+              duration_s=0.1, warmup_s=0.035):
+    """Climb the offered-load ladder; return the last sustained level."""
+    best = 0.0
+    for offered_mbps in ladder:
+        result = run_point(
+            config, profile, spec, offered_mbps * 1e6,
+            payload_size=payload_size, service=Service.AGREED,
+            duration_s=duration_s, warmup_s=warmup_s,
+        )
+        if result.saturated:
+            break
+        best = result.achieved_mbps
+    return best
+
+
+def run_headline_table():
+    measured = {}
+    ladder_1g = (500, 700, 800, 850, 900, 940)
+    ladder_10g = (1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000)
+    ladder_10g_big = (3000, 4000, 5000, 5500, 6000, 6500, 7000, 7500, 8000)
+    for name, profile in PROFILES.items():
+        for protocol, config in tuned_configs(GIGABIT).items():
+            measured[("1G", name, protocol, 1350)] = probe_max(
+                profile, GIGABIT, config, 1350, ladder_1g,
+                duration_s=0.15, warmup_s=0.05,
+            )
+        for protocol, config in tuned_configs(TEN_GIGABIT).items():
+            measured[("10G", name, protocol, 1350)] = probe_max(
+                profile, TEN_GIGABIT, config, 1350, ladder_10g,
+            )
+        accel = tuned_configs(TEN_GIGABIT)["accelerated"]
+        measured[("10G", name, "accelerated", 8850)] = probe_max(
+            profile, TEN_GIGABIT, accel, 8850, ladder_10g_big,
+        )
+    return measured
+
+
+def test_headline_numbers(benchmark):
+    measured = benchmark.pedantic(run_headline_table, rounds=1, iterations=1)
+
+    # 1G: accelerated saturates the network for every implementation
+    # (paper: Spread reaches >920 Mbps of clean payload).
+    for name in PROFILES:
+        accel_1g = measured[("1G", name, "accelerated", 1350)]
+        orig_1g = measured[("1G", name, "original", 1350)]
+        assert accel_1g >= 850, (name, accel_1g)
+        assert accel_1g > orig_1g, (name, accel_1g, orig_1g)
+
+    # 10G 1350B: implementation ordering and acceleration benefit.
+    lib = measured[("10G", "library", "accelerated", 1350)]
+    daemon = measured[("10G", "daemon", "accelerated", 1350)]
+    spread = measured[("10G", "spread", "accelerated", 1350)]
+    assert lib > daemon > spread, (lib, daemon, spread)
+    for name in PROFILES:
+        # On the CPU-bound 10G substrate both protocols converge to the
+        # same per-message work bound (EXPERIMENTS.md, deviation 2), so
+        # the accelerated maximum is at least equal within measurement
+        # granularity — its wins show up in latency at every load.
+        assert (
+            measured[("10G", name, "accelerated", 1350)]
+            >= measured[("10G", name, "original", 1350)] * 0.97
+        ), name
+
+    # 10G 8850B maxima (paper: 7.3 / 6 / 5.3 Gbps lib/daemon/Spread).
+    big = {name: measured[("10G", name, "accelerated", 8850)] for name in PROFILES}
+    assert big["library"] > big["daemon"] > big["spread"], big
+    assert big["daemon"] >= 4500, big  # paper: 6 Gbps; band check
+    assert big["spread"] >= 3500, big  # paper: 5.3 Gbps; band check
+
+    headline(
+        "* headline 1G accel maxima (paper >920 Mbps): measured "
+        + ", ".join(
+            "%s %.0f" % (n, measured[("1G", n, "accelerated", 1350)])
+            for n in ("library", "daemon", "spread")
+        )
+    )
+    headline(
+        "* headline 10G 1350B accel maxima (paper 4.6/3.3/2.3 Gbps): measured "
+        "%.1f/%.1f/%.1f Gbps" % (lib / 1e3, daemon / 1e3, spread / 1e3)
+    )
+    headline(
+        "* headline 10G 8850B accel maxima (paper 7.3/6/5.3 Gbps): measured "
+        "%.1f/%.1f/%.1f Gbps"
+        % (big["library"] / 1e3, big["daemon"] / 1e3, big["spread"] / 1e3)
+    )

@@ -1,0 +1,61 @@
+"""Section V comparison: Accelerated Ring vs Ring Paxos on 1G.
+
+Paper numbers: U-Ring Paxos reaches ~750 Mbps on 1-gigabit with
+1350-byte messages (with batching) and "a latency profile similar to
+that of the original Ring protocol for Safe delivery", while
+accelerated Spread exceeds 920 Mbps.  Both protocols run on the same
+simulated substrate here; Ring Paxos delivery carries quorum stability,
+so the apples-to-apples ring curve is Safe delivery.
+"""
+
+from repro.baselines import run_ringpaxos_point
+from repro.bench import headline, tuned_configs
+from repro.core import Service
+from repro.net import GIGABIT
+from repro.sim import SPREAD, run_point
+
+LOADS = (100, 400, 600, 700, 800, 900)
+
+
+def run_comparison():
+    accel = tuned_configs(GIGABIT)["accelerated"]
+    ring = {}
+    paxos = {}
+    for offered_mbps in LOADS:
+        ring[offered_mbps] = run_point(
+            accel, SPREAD, GIGABIT, offered_mbps * 1e6,
+            service=Service.SAFE, duration_s=0.12, warmup_s=0.04,
+        )
+        paxos[offered_mbps] = run_ringpaxos_point(
+            SPREAD, GIGABIT, offered_mbps * 1e6,
+            duration_s=0.12, warmup_s=0.04,
+        )
+    return ring, paxos
+
+
+def test_ringpaxos_baseline(benchmark):
+    ring, paxos = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    ring_max = max(r.achieved_mbps for r in ring.values() if not r.saturated)
+    paxos_max = max(
+        (p.achieved_mbps for p in paxos.values() if not p.saturated),
+        default=0.0,
+    )
+
+    # The accelerated ring clearly out-throughputs Ring Paxos (paper:
+    # >920 vs ~750 Mbps), and Ring Paxos lands in the paper's zone.
+    assert ring_max > paxos_max, (ring_max, paxos_max)
+    assert 500 <= paxos_max <= 850, paxos_max
+
+    # At moderate load Ring Paxos latency resembles ring-Safe latency
+    # (same order of magnitude), as the paper observes.
+    ring_400 = ring[400].latency_us
+    paxos_400 = paxos[400].latency_us
+    assert 0.2 <= paxos_400 / ring_400 <= 5.0, (paxos_400, ring_400)
+
+    headline(
+        "* related work Ring Paxos (1G, Spread profile): paper U-Ring "
+        "~750 Mbps vs accel Spread >920; measured paxos max %.0f Mbps vs "
+        "accel ring (Safe) max %.0f Mbps"
+        % (paxos_max, ring_max)
+    )

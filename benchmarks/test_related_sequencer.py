@@ -1,0 +1,60 @@
+"""Section V comparison: token ring vs a fixed-sequencer protocol.
+
+The paper measures JGroups' sequencer-based total order at ~650 Mbps on
+1G (vs Spread's ~920) with the same 8-node setup.  The structural
+reason reproduces on our substrate: the sequencer handles every message
+twice (receive + re-multicast), so it saturates well before the ring,
+while at very low load it can undercut the ring's token-wait latency.
+"""
+
+from repro.bench import headline, tuned_configs
+from repro.baselines import run_sequencer_point
+from repro.core import Service
+from repro.net import TEN_GIGABIT
+from repro.sim import SPREAD, run_point
+
+LOADS = (100, 500, 1000, 1500, 2000)
+
+
+def run_comparison():
+    accel = tuned_configs(TEN_GIGABIT)["accelerated"]
+    ring_points = {}
+    seq_points = {}
+    for offered_mbps in LOADS:
+        ring_points[offered_mbps] = run_point(
+            accel, SPREAD, TEN_GIGABIT, offered_mbps * 1e6,
+            duration_s=0.1, warmup_s=0.035,
+        )
+        seq_points[offered_mbps] = run_sequencer_point(
+            SPREAD, TEN_GIGABIT, offered_mbps * 1e6,
+            duration_s=0.1, warmup_s=0.035,
+        )
+    return ring_points, seq_points
+
+
+def test_sequencer_baseline(benchmark):
+    ring, seq = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    # The coordinator handles every message twice, so the sequencer
+    # saturates well below the ring on the CPU-bound 10G testbed
+    # (paper, Section V: JGroups' total order well below Spread's max).
+    assert not ring[2000].saturated
+    assert seq[2000].saturated or seq[2000].achieved_bps < 1800e6
+
+    ring_max = max(
+        r.achieved_mbps for r in ring.values() if not r.saturated
+    )
+    seq_max = max(
+        (s.achieved_bps / 1e6 for s in seq.values() if not s.saturated),
+        default=0.0,
+    )
+    assert ring_max > seq_max * 1.2, (ring_max, seq_max)
+
+    # At trivial load the sequencer's two hops beat waiting for a token.
+    assert seq[100].latency_us < ring[100].latency_us
+
+    headline(
+        "* related work (10G, Spread profile): measured sequencer max "
+        "%.0f Mbps vs ring max %.0f Mbps (paper 1G: JGroups ~650 vs "
+        "Spread >920)" % (seq_max, ring_max)
+    )

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Multi-group messaging: Spread-style chat rooms with cross-posting.
+
+Demonstrates the features the paper credits for Spread's production
+success (Section I): the client-daemon architecture, many simultaneous
+groups, open-group semantics, and multi-group multicast — one send
+delivered to the members of several groups with ordering guarantees
+that hold ACROSS groups.
+
+Run:  python examples/group_chat.py
+"""
+
+from repro.spreadlike import GroupMessage, MembershipNotice, SpreadCluster
+
+
+def show_stream(label, events) -> None:
+    print("  %s sees:" % label)
+    for event in events:
+        if isinstance(event, GroupMessage):
+            print("    [%s] %s: %s"
+                  % ("+".join(event.groups), event.sender, event.payload))
+        elif isinstance(event, MembershipNotice):
+            change = (
+                "+%s" % ",".join(str(c) for c in event.joined)
+                if event.joined
+                else "-%s" % ",".join(str(c) for c in event.left)
+            )
+            print("    [%s] membership %s -> %d members"
+                  % (event.group, change, len(event.members)))
+
+
+def main() -> None:
+    cluster = SpreadCluster(n_daemons=3)
+
+    alice = cluster.client("alice", daemon=0)
+    bob = cluster.client("bob", daemon=1)
+    carol = cluster.client("carol", daemon=2)
+    announcer = cluster.client("announcer", daemon=0)
+
+    alice.join("dev")
+    bob.join("dev")
+    bob.join("ops")
+    carol.join("ops")
+    cluster.flush()
+
+    alice.multicast("dev", "the new build is up")
+    carol.multicast("ops", "rolling restart at noon")
+    # Open-group semantics: the announcer is a member of neither group
+    # but can cross-post to both with a single ordered send.
+    announcer.multicast(["dev", "ops"], "ALL-HANDS: incident drill at 3pm")
+    bob.multicast("dev", "ack, deploying")
+    cluster.flush()
+
+    show_stream("alice (dev)", alice.receive())
+    show_stream("bob (dev+ops)", bob.receive())
+    show_stream("carol (ops)", carol.receive())
+
+    # Bob is in both target groups but received the cross-post once;
+    # alice (dev) and carol (ops) saw the same announcement in the same
+    # relative order as bob — ordering holds across groups.
+    print("\nGroup views are identical on every daemon:")
+    for group in ("dev", "ops"):
+        views = {d: cluster.group_view(d, group) for d in range(3)}
+        assert len({tuple(v) for v in views.values()}) == 1
+        print("  %s: %s" % (group, [str(c) for c in views[0]]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Mini evaluation: the paper's Figure 1 shape on your laptop.
+
+Sweeps offered load on the simulated 1-gigabit testbed (Spread cost
+profile) for the original and accelerated protocols and prints the
+latency/throughput profile as a table plus an ASCII plot — a fast,
+self-contained taste of what `pytest benchmarks/` reproduces in full.
+
+Run:  python examples/latency_profile.py
+"""
+
+from repro.bench import tuned_configs
+from repro.core import Service
+from repro.net import GIGABIT
+from repro.sim import SPREAD, run_point
+
+LOADS_MBPS = (100, 300, 500, 700, 800, 900)
+BAR_SCALE_US = 18.0  # one # per this many microseconds
+
+
+def measure(protocol_name):
+    config = tuned_configs(GIGABIT)[protocol_name]
+    rows = []
+    for offered in LOADS_MBPS:
+        result = run_point(
+            config, SPREAD, GIGABIT, offered * 1e6,
+            service=Service.AGREED, duration_s=0.12, warmup_s=0.04,
+        )
+        rows.append((offered, result))
+    return rows
+
+
+def main() -> None:
+    print("Simulating the paper's 1G testbed (8 nodes, Spread profile,")
+    print("1350-byte payloads, Agreed delivery)...\n")
+    results = {name: measure(name) for name in ("original", "accelerated")}
+
+    print("%8s | %22s | %22s" % ("offered", "original", "accelerated"))
+    print("%8s | %22s | %22s" % ("(Mbps)", "latency (us)", "latency (us)"))
+    print("-" * 60)
+    for index, offered in enumerate(LOADS_MBPS):
+        cells = []
+        for name in ("original", "accelerated"):
+            _, result = results[name][index]
+            if result.saturated:
+                cells.append("SATURATED")
+            else:
+                cells.append("%.0f" % result.latency_us)
+        print("%8d | %22s | %22s" % (offered, cells[0], cells[1]))
+
+    print("\nLatency profile (each # is %.0f us):" % BAR_SCALE_US)
+    for name in ("original", "accelerated"):
+        print("  %s:" % name)
+        for offered, result in results[name]:
+            if result.saturated:
+                bar = "~" * 40 + " saturated"
+            else:
+                bar = "#" * max(1, int(result.latency_us / BAR_SCALE_US))
+            print("    %4d Mbps %s" % (offered, bar))
+
+    accel_900 = results["accelerated"][-1][1]
+    print(
+        "\nThe accelerated protocol sustains %d Mbps at %.0f us — the "
+        "original protocol saturates first.\n"
+        "(Paper: >920 Mbps vs ~500-800 Mbps on real hardware.)"
+        % (LOADS_MBPS[-1], accel_900.latency_us)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so `pip install -e .` works on environments whose pip/setuptools
+cannot build PEP 660 editable wheels (no `wheel` package available, as in
+offline boxes); all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,193 @@
+"""Fixed-sequencer total-order baseline (JGroups-SEQUENCER style).
+
+Section V of the paper compares the token approach against
+sequencer-based systems (JGroups, Isis2): a sender forwards its message
+to a fixed coordinator, which assigns the sequence number and multicasts
+it to everyone.  Built on the same network substrate and cost profiles
+as the ring protocols, so the comparison bench
+(`benchmarks/test_related_sequencer.py`) is apples-to-apples.
+
+The structural trade-off this reproduces: the sequencer pays CPU for
+every message in the system twice (receive from sender + multicast), so
+it becomes the bottleneck at roughly half the ring's aggregate rate,
+while at low load it has lower latency than the ring (no waiting for a
+token rotation).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict
+
+from ..core import Service
+from ..net import Frame, LinkSpec, Nic, Simulator, Switch, Timeout, Traffic
+from ..sim.latency import LatencyRecorder, LatencySummary
+from ..sim.profiles import CostProfile
+
+
+@dataclass(frozen=True)
+class SequencedMessage:
+    seq: int
+    sender: int
+    payload_size: int
+    submitted_at: float
+
+
+@dataclass(frozen=True)
+class ForwardedMessage:
+    sender: int
+    payload_size: int
+    submitted_at: float
+
+
+class _SequencerHost:
+    """Single-threaded host; pid 0 doubles as the sequencer."""
+
+    def __init__(self, sim, pid, spec, profile, switch, recorder,
+                 sequencer_pid=0):
+        self.sim = sim
+        self.pid = pid
+        self.spec = spec
+        self.profile = profile
+        self.recorder = recorder
+        self.sequencer_pid = sequencer_pid
+        self.nic = Nic(sim, pid, spec, switch.receive)
+        switch.attach(pid, self._on_frame)
+        self._inbox: Deque[Frame] = deque()
+        self._inbox_bytes = 0
+        self._wakeup = sim.signal("seqhost%d" % pid)
+        self._next_seq = 1  # sequencer only
+        self._delivered_upto = 0
+        self._holdback: Dict[int, SequencedMessage] = {}
+        self.socket_drops = 0
+        sim.spawn(self._loop(), "seqcpu%d" % pid)
+
+    def submit(self, payload_size: int) -> None:
+        message = ForwardedMessage(self.pid, payload_size, self.sim.now)
+        if self.pid == self.sequencer_pid:
+            # Local fast path: the coordinator orders its own messages
+            # without a network hop, but still pays the CPU.
+            self._inbox.append(
+                Frame(self.pid, self.pid, Traffic.DATA,
+                      payload_size + self.profile.header_bytes, message)
+            )
+            self._wakeup.fire()
+        else:
+            self.nic.send(
+                Frame(self.pid, self.sequencer_pid, Traffic.DATA,
+                      payload_size + self.profile.header_bytes, message)
+            )
+
+    def _on_frame(self, frame: Frame) -> None:
+        wire = frame.wire_bytes()
+        if self._inbox_bytes + wire > self.spec.socket_buffer_bytes:
+            self.socket_drops += 1
+            return
+        self._inbox.append(frame)
+        self._inbox_bytes += wire
+        self._wakeup.fire()
+
+    def _loop(self):
+        profile = self.profile
+        while True:
+            if not self._inbox:
+                yield self._wakeup
+                continue
+            frame = self._inbox.popleft()
+            self._inbox_bytes = max(0, self._inbox_bytes - frame.wire_bytes())
+            message = frame.payload
+            yield Timeout(profile.data_recv_cost(
+                getattr(message, "payload_size", 0)))
+            if isinstance(message, ForwardedMessage):
+                # We are the sequencer: assign the order and multicast.
+                sequenced = SequencedMessage(
+                    self._next_seq, message.sender,
+                    message.payload_size, message.submitted_at,
+                )
+                self._next_seq += 1
+                yield Timeout(profile.data_send_cost(message.payload_size))
+                self.nic.send(
+                    Frame(self.pid, None, Traffic.DATA,
+                          message.payload_size + profile.header_bytes,
+                          sequenced)
+                )
+                # The sequencer delivers locally as well.
+                for pause in self._deliver_in_order(sequenced):
+                    yield pause
+            else:
+                for pause in self._deliver_in_order(message):
+                    yield pause
+
+    def _deliver_in_order(self, message: SequencedMessage):
+        self._holdback[message.seq] = message
+        while self._delivered_upto + 1 in self._holdback:
+            ready = self._holdback.pop(self._delivered_upto + 1)
+            self._delivered_upto += 1
+            yield Timeout(self.profile.deliver_cost(ready.payload_size))
+            self.recorder.record(
+                self.pid, Service.AGREED, ready.submitted_at,
+                self.sim.now, ready.payload_size,
+            )
+
+
+@dataclass
+class SequencerResult:
+    offered_bps: float
+    achieved_bps: float
+    latency: LatencySummary
+    saturated: bool
+    socket_drops: int
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency.mean_s * 1e6
+
+
+def run_sequencer_point(
+    profile: CostProfile,
+    spec: LinkSpec,
+    offered_bps: float,
+    n_nodes: int = 8,
+    payload_size: int = 1350,
+    duration_s: float = 0.25,
+    warmup_s: float = 0.08,
+    seed: int = 0,
+) -> SequencerResult:
+    """One throughput/latency measurement of the sequencer baseline."""
+    sim = Simulator()
+    switch = Switch(sim, spec)
+    recorder = LatencyRecorder(warmup_until_s=warmup_s)
+    hosts = [
+        _SequencerHost(sim, pid, spec, profile, switch, recorder)
+        for pid in range(n_nodes)
+    ]
+    per_node_rate = offered_bps / n_nodes / (payload_size * 8.0)
+    rng = random.Random(seed)
+
+    def injector(host, offset):
+        yield Timeout(offset)
+        interval = 1.0 / per_node_rate
+        while sim.now < duration_s:
+            host.submit(payload_size)
+            yield Timeout(interval * (1.0 + 0.05 * (rng.random() - 0.5)))
+
+    if per_node_rate > 0:
+        for index, host in enumerate(hosts):
+            sim.spawn(
+                injector(host, index / per_node_rate / n_nodes),
+                "seqinject%d" % index,
+            )
+    sim.run(until=duration_s)
+    window = duration_s - warmup_s
+    achieved = recorder.min_throughput_bps(window)
+    # Undelivered messages stuck at the sequencer indicate saturation.
+    backlog = sum(len(h._holdback) + len(h._inbox) for h in hosts)
+    return SequencerResult(
+        offered_bps=offered_bps,
+        achieved_bps=achieved,
+        latency=recorder.summary(),
+        saturated=achieved < offered_bps * 0.9 or backlog > 200,
+        socket_drops=sum(h.socket_drops for h in hosts),
+    )

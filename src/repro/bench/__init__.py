@@ -1,0 +1,35 @@
+"""Benchmark harness: regenerates every figure of the paper's evaluation."""
+
+from .experiments import (
+    ALL_FIGURES,
+    SweepSpec,
+    full_mode,
+    make_fig1,
+    make_fig2,
+    make_fig3,
+    make_fig4,
+    make_fig5,
+    make_fig6,
+    make_fig7,
+    tuned_configs,
+)
+from .report import (
+    HEADLINES,
+    REGISTRY,
+    headline,
+    register,
+    render_all,
+    reset,
+    simultaneous_improvement,
+    throughput_gain_at_latency,
+)
+from .runner import persist_figure, run_sweep, series_label
+
+__all__ = [
+    "SweepSpec", "tuned_configs", "full_mode", "ALL_FIGURES",
+    "make_fig1", "make_fig2", "make_fig3", "make_fig4", "make_fig5",
+    "make_fig6", "make_fig7",
+    "run_sweep", "persist_figure", "series_label",
+    "register", "headline", "render_all", "reset", "REGISTRY", "HEADLINES",
+    "simultaneous_improvement", "throughput_gain_at_latency",
+]

@@ -1,0 +1,81 @@
+"""Paper-vs-measured reporting.
+
+Every benchmark registers its reproduced figure here; the benchmarks'
+conftest prints the accumulated report in the pytest terminal summary,
+and `persist_figure` keeps markdown/CSV copies under bench_results/.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..stats import Figure, Series
+
+#: Global registry filled by benchmark runs (figure_id -> Figure).
+REGISTRY: Dict[str, Figure] = {}
+
+#: Free-form headline lines registered by benchmarks (shown in summary).
+HEADLINES: List[str] = []
+
+
+def register(figure: Figure) -> Figure:
+    REGISTRY[figure.figure_id] = figure
+    return figure
+
+
+def headline(line: str) -> None:
+    HEADLINES.append(line)
+
+
+def render_all() -> str:
+    blocks: List[str] = []
+    for figure_id in sorted(REGISTRY):
+        blocks.append(REGISTRY[figure_id].to_markdown())
+    if HEADLINES:
+        blocks.append("## Headline comparisons (paper vs measured)")
+        blocks.extend(HEADLINES)
+    return "\n\n".join(blocks)
+
+
+def reset() -> None:
+    REGISTRY.clear()
+    HEADLINES.clear()
+
+
+# -- comparison helpers used by the benchmark assertions -----------------------
+
+def simultaneous_improvement(
+    original: Series,
+    accelerated: Series,
+    at_offered_mbps: float,
+) -> Optional[Tuple[float, float]]:
+    """(latency improvement, achieved ratio) at one offered load.
+
+    Returns None when either series lacks a stable point there.
+    Latency improvement is positive when the accelerated protocol is
+    faster (the paper's "reduce latency by 45%" form).
+    """
+    orig = next(
+        (p for p in original.points
+         if abs(p.offered_mbps - at_offered_mbps) < 1e-6), None)
+    accel = next(
+        (p for p in accelerated.points
+         if abs(p.offered_mbps - at_offered_mbps) < 1e-6), None)
+    if orig is None or accel is None or orig.saturated or accel.saturated:
+        return None
+    latency_gain = (orig.latency_us - accel.latency_us) / orig.latency_us
+    achieved_ratio = accel.achieved_mbps / max(orig.achieved_mbps, 1e-9)
+    return latency_gain, achieved_ratio
+
+
+def throughput_gain_at_latency(
+    original: Series,
+    accelerated: Series,
+    latency_bound_us: float,
+) -> float:
+    """How much more throughput acceleration sustains under a latency cap."""
+    orig = original.max_throughput_under_latency(latency_bound_us)
+    accel = accelerated.max_throughput_under_latency(latency_bound_us)
+    if orig <= 0:
+        return float("inf") if accel > 0 else 0.0
+    return accel / orig

@@ -1,0 +1,77 @@
+"""Sweep runner: executes a SweepSpec into a Figure of series."""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from ..sim import run_point
+from ..stats import Figure, SeriesPoint
+from .experiments import SweepSpec, tuned_configs
+
+#: Directory where figures are persisted as markdown + CSV.
+RESULTS_DIR = os.environ.get("REPRO_BENCH_RESULTS", "bench_results")
+
+ProgressHook = Callable[[str], None]
+
+
+def series_label(profile_name: str, protocol_name: str) -> str:
+    return "%s/%s" % (profile_name, protocol_name)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    progress: Optional[ProgressHook] = None,
+) -> Figure:
+    """Run every (profile, protocol, load) point of a figure."""
+    figure = Figure(spec.figure_id, spec.title)
+    configs = tuned_configs(spec.link)
+    for profile in spec.profiles:
+        for protocol_name in spec.protocols:
+            config = configs[protocol_name]
+            label = series_label(profile.name, protocol_name)
+            series = figure.series_for(label)
+            for offered_mbps in spec.offered_mbps:
+                result = run_point(
+                    config,
+                    profile,
+                    spec.link,
+                    offered_mbps * 1e6,
+                    n_nodes=spec.n_nodes,
+                    payload_size=spec.payload_size,
+                    service=spec.service,
+                    duration_s=spec.duration_s,
+                    warmup_s=spec.warmup_s,
+                )
+                series.add(
+                    SeriesPoint(
+                        offered_mbps=offered_mbps,
+                        achieved_mbps=result.achieved_mbps,
+                        latency_us=result.latency_us,
+                        saturated=result.saturated,
+                        extra={
+                            "rounds_per_s": result.rounds_per_s,
+                            "switch_drops": float(result.switch_drops),
+                            "retransmissions": float(result.retransmissions),
+                        },
+                    )
+                )
+                if progress is not None:
+                    progress(
+                        "%s %s @%.0f Mbps -> %.0f Mbps, %.0f us%s"
+                        % (spec.figure_id, label, offered_mbps,
+                           result.achieved_mbps, result.latency_us,
+                           " SAT" if result.saturated else "")
+                    )
+    return figure
+
+
+def persist_figure(figure: Figure, directory: str = RESULTS_DIR) -> str:
+    """Write markdown + CSV for a figure; returns the markdown path."""
+    os.makedirs(directory, exist_ok=True)
+    md_path = os.path.join(directory, "%s.md" % figure.figure_id)
+    with open(md_path, "w") as handle:
+        handle.write(figure.to_markdown() + "\n")
+    with open(os.path.join(directory, "%s.csv" % figure.figure_id), "w") as handle:
+        handle.write(figure.to_csv() + "\n")
+    return md_path

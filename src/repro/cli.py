@@ -1,0 +1,79 @@
+"""Command-line entry points.
+
+Run a figure sweep without pytest::
+
+    python -m repro.cli fig1            # print the figure table
+    python -m repro.cli fig7 --full     # denser sweep
+    python -m repro.cli list            # available experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .bench import ALL_FIGURES, make_fig4, make_fig6, persist_figure, run_sweep
+
+
+def _available() -> List[str]:
+    return sorted(list(ALL_FIGURES) + ["fig4", "fig6"])
+
+
+def run_figure_by_id(figure_id: str, verbose: bool = True) -> List[str]:
+    """Run one figure's sweep(s); returns the markdown blocks."""
+    progress = (lambda line: print("  " + line, file=sys.stderr)) if verbose else None
+    if figure_id in ("fig4", "fig6"):
+        specs = make_fig4() if figure_id == "fig4" else make_fig6()
+        blocks = []
+        for spec in specs:
+            figure = run_sweep(spec, progress=progress)
+            persist_figure(figure)
+            blocks.append(figure.to_markdown())
+        return blocks
+    if figure_id not in ALL_FIGURES:
+        raise SystemExit(
+            "unknown experiment %r; available: %s"
+            % (figure_id, ", ".join(_available()))
+        )
+    figure = run_sweep(ALL_FIGURES[figure_id](), progress=progress)
+    persist_figure(figure)
+    return [figure.to_markdown()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Reproduce figures from 'Fast Total Ordering for "
+                    "Modern Data Centers'.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig1), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="denser, longer sweeps (sets REPRO_BENCH_FULL=1)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for figure_id in _available():
+            print(figure_id)
+        return 0
+    if args.full:
+        os.environ["REPRO_BENCH_FULL"] = "1"
+    targets = _available() if args.experiment == "all" else [args.experiment]
+    for target in targets:
+        for block in run_figure_by_id(target, verbose=not args.quiet):
+            print(block)
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""The Accelerated Ring ordering protocol (sans-IO core).
+
+This package implements the paper's contribution as a pure state machine:
+drivers feed tokens and data messages in, and get ordered action lists
+out.  See :class:`repro.core.Participant` for the entry point.
+
+Typical use::
+
+    from repro.core import Participant, ProtocolConfig, Ring, Service
+    from repro.core import initial_token
+
+    ring = Ring.of([1, 2, 3])
+    config = ProtocolConfig.accelerated(accelerated_window=20)
+    participants = {pid: Participant(pid, ring, config) for pid in ring}
+    participants[1].submit(b"hello", Service.AGREED, payload_size=5)
+    actions = participants[1].on_token(initial_token())
+"""
+
+from .autotune import AcceleratedWindowTuner, TunerConfig
+from .actions import (
+    Action,
+    Deliver,
+    Discard,
+    SendData,
+    SendToken,
+    deliveries,
+    sends,
+    token_of,
+)
+from .buffer import ReceiveBuffer
+from .config import PriorityMethod, ProtocolConfig, Service
+from .delivery import DeliveryEngine
+from .errors import (
+    ConfigurationError,
+    DeliveryInvariantError,
+    ProtocolError,
+    RingError,
+    TokenError,
+)
+from .events import EventHub
+from .flow_control import FlowControlDecision, new_message_budget, updated_fcc
+from .messages import DataMessage, Token, initial_token
+from .packing import ITEM_HEADER_BYTES, PackedItem, PackedPayload, pack_next
+from .participant import Participant, ParticipantStats
+from .priority import PriorityTracker
+from .retransmit import RetransmitTracker
+from .ring import Ring
+
+__all__ = [
+    "Participant", "ParticipantStats",
+    "ProtocolConfig", "PriorityMethod", "Service",
+    "Ring", "Token", "DataMessage", "initial_token",
+    "Action", "SendData", "SendToken", "Deliver", "Discard",
+    "deliveries", "sends", "token_of",
+    "ReceiveBuffer", "DeliveryEngine", "PriorityTracker", "RetransmitTracker",
+    "EventHub", "FlowControlDecision", "new_message_budget", "updated_fcc",
+    "AcceleratedWindowTuner", "TunerConfig",
+    "PackedPayload", "PackedItem", "pack_next", "ITEM_HEADER_BYTES",
+    "ProtocolError", "ConfigurationError", "RingError", "TokenError",
+    "DeliveryInvariantError",
+]

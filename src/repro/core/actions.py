@@ -1,0 +1,74 @@
+"""Action algebra: what a participant asks its driver to do.
+
+The protocol core is sans-IO: handling a message returns an *ordered* list
+of actions, and the driver (simulator, real-socket emulation, or an
+in-process harness) executes them in order, attributing time/cost as it
+sees fit.  The ordering is semantically load-bearing — in particular the
+position of :class:`SendToken` between the pre-token and post-token
+:class:`SendData` actions is the entire point of the Accelerated Ring
+protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from .config import Service
+from .messages import DataMessage, Token
+
+
+@dataclass(frozen=True)
+class SendData:
+    """Multicast a data message to the ring."""
+
+    message: DataMessage
+    #: True when answering a retransmission request (always pre-token).
+    retransmission: bool = False
+
+
+@dataclass(frozen=True)
+class SendToken:
+    """Unicast the updated token to the ring successor."""
+
+    token: Token
+    dst: int
+
+
+@dataclass(frozen=True)
+class Deliver:
+    """Hand a message to the application, in total order."""
+
+    message: DataMessage
+
+    @property
+    def service(self) -> Service:
+        return self.message.service
+
+
+@dataclass(frozen=True)
+class Discard:
+    """All messages with seq <= ``upto`` are stable and were released."""
+
+    upto: int
+
+
+Action = Union[SendData, SendToken, Deliver, Discard]
+
+
+def deliveries(actions: List[Action]) -> List[DataMessage]:
+    """The messages delivered by an action list, in order."""
+    return [a.message for a in actions if isinstance(a, Deliver)]
+
+
+def sends(actions: List[Action]) -> List[DataMessage]:
+    """The data messages multicast by an action list, in order."""
+    return [a.message for a in actions if isinstance(a, SendData)]
+
+
+def token_of(actions: List[Action]) -> Token:
+    """The (single) token sent by a token handling; raises if absent."""
+    tokens = [a.token for a in actions if isinstance(a, SendToken)]
+    if len(tokens) != 1:
+        raise ValueError("expected exactly one SendToken, found %d" % len(tokens))
+    return tokens[0]

@@ -1,0 +1,108 @@
+"""Receive buffer: seq-indexed message store with aru tracking.
+
+Every participant keeps all messages it has received (including its own)
+until they become stable (Safe-delivered by everyone), because any of
+them may be requested for retransmission.  The buffer tracks the local
+aru — the highest seq such that the participant has *all* messages with
+lower-or-equal seq — which feeds the token aru rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .errors import DeliveryInvariantError
+from .messages import DataMessage
+
+
+class ReceiveBuffer:
+    """Messages received but not yet discarded, indexed by seq."""
+
+    def __init__(self) -> None:
+        self._messages: Dict[int, DataMessage] = {}
+        self._local_aru = 0
+        self._discarded_upto = 0
+        self._highest_seq_seen = 0
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, message: DataMessage) -> bool:
+        """Store a message; returns True if it was new.
+
+        Duplicates (retransmissions already received, multicast loopback
+        of own messages) and messages already discarded as stable are
+        ignored.
+        """
+        seq = message.seq
+        if seq > self._highest_seq_seen:
+            self._highest_seq_seen = seq
+        if seq <= self._discarded_upto or seq in self._messages:
+            return False
+        self._messages[seq] = message
+        if seq == self._local_aru + 1:
+            self._advance_aru()
+        return True
+
+    def _advance_aru(self) -> None:
+        aru = self._local_aru
+        messages = self._messages
+        while aru + 1 in messages:
+            aru += 1
+        self._local_aru = aru
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def local_aru(self) -> int:
+        """Highest seq with no gaps below it."""
+        return self._local_aru
+
+    @property
+    def discarded_upto(self) -> int:
+        return self._discarded_upto
+
+    @property
+    def highest_seq_seen(self) -> int:
+        """Highest seq ever inserted (including since-discarded ones)."""
+        return self._highest_seq_seen
+
+    def get(self, seq: int) -> Optional[DataMessage]:
+        return self._messages.get(seq)
+
+    def has(self, seq: int) -> bool:
+        """True if the message is present (or already stable-discarded)."""
+        return seq <= self._discarded_upto or seq in self._messages
+
+    def missing_between(self, lo: int, hi: int) -> List[int]:
+        """Seqs in ``(lo, hi]`` that are not present — retransmission gaps."""
+        messages = self._messages
+        start = max(lo, self._discarded_upto)
+        return [s for s in range(start + 1, hi + 1) if s not in messages]
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def held_seqs(self) -> Iterator[int]:
+        return iter(sorted(self._messages))
+
+    # -- garbage collection -----------------------------------------------------
+
+    def discard_upto(self, seq: int) -> int:
+        """Release all messages with seq <= ``seq``; returns count released.
+
+        Only stable messages may be discarded; discarding past the local
+        aru would mean forgetting messages we never had, which is a
+        protocol bug, not a recoverable condition.
+        """
+        if seq <= self._discarded_upto:
+            return 0
+        if seq > self._local_aru:
+            raise DeliveryInvariantError(
+                "discard_upto(%d) beyond local aru %d" % (seq, self._local_aru)
+            )
+        released = 0
+        for s in range(self._discarded_upto + 1, seq + 1):
+            if self._messages.pop(s, None) is not None:
+                released += 1
+        self._discarded_upto = seq
+        return released

@@ -1,0 +1,25 @@
+"""Exceptions raised by the protocol core."""
+
+from __future__ import annotations
+
+
+class ProtocolError(Exception):
+    """Base class for all protocol-level errors."""
+
+
+class ConfigurationError(ProtocolError):
+    """Invalid protocol configuration (window sizes, ring shape, ...)."""
+
+
+class RingError(ProtocolError):
+    """Malformed ring definition or unknown participant."""
+
+
+class TokenError(ProtocolError):
+    """A token that violates protocol invariants (bad ring id, regressing
+    fields) was handed to a participant."""
+
+
+class DeliveryInvariantError(ProtocolError):
+    """Internal delivery invariant broken — always a bug, never expected
+    in correct runs; surfaced loudly instead of corrupting the order."""

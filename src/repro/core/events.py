@@ -1,0 +1,43 @@
+"""Lightweight instrumentation hooks for the protocol core.
+
+Tests and benchmarks subscribe to named protocol events without the core
+knowing anything about them.  Hooks are synchronous and exception-
+transparent: a broken subscriber fails the run loudly rather than
+corrupting measurements silently.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, DefaultDict, Dict, List
+
+Subscriber = Callable[..., None]
+
+#: Event names emitted by Participant.
+TOKEN_HANDLED = "token_handled"
+DATA_RECEIVED = "data_received"
+MESSAGE_SENT = "message_sent"
+MESSAGE_DELIVERED = "message_delivered"
+RETRANSMISSION_SENT = "retransmission_sent"
+RETRANSMISSION_REQUESTED = "retransmission_requested"
+MESSAGES_DISCARDED = "messages_discarded"
+DUPLICATE_TOKEN = "duplicate_token"
+
+
+class EventHub:
+    """A tiny synchronous pub/sub used for protocol observability."""
+
+    def __init__(self) -> None:
+        self._subscribers: DefaultDict[str, List[Subscriber]] = defaultdict(list)
+        self.counts: Dict[str, int] = defaultdict(int)
+
+    def subscribe(self, event: str, fn: Subscriber) -> None:
+        self._subscribers[event].append(fn)
+
+    def emit(self, event: str, **payload: Any) -> None:
+        self.counts[event] += 1
+        for fn in self._subscribers.get(event, ()):
+            fn(**payload)
+
+    def count(self, event: str) -> int:
+        return self.counts.get(event, 0)

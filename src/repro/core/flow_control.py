@@ -1,0 +1,59 @@
+"""Flow-control arithmetic (Section III-A-1).
+
+The number of new messages a participant may initiate in a round is
+
+    min( backlog,
+         Personal_window,
+         Global_window - received_token.fcc - num_retransmissions,
+         Global_aru + Max_seq_gap - received_token.seq )
+
+clamped at zero.  ``Global_aru`` — the highest seq known received by all
+participants — is the aru carried on the token as received.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ProtocolConfig
+from .messages import Token
+
+
+@dataclass(frozen=True)
+class FlowControlDecision:
+    """The budget for one token handling, with per-limit visibility."""
+
+    allowed_new: int
+    limited_by_backlog: bool
+    limited_by_personal_window: bool
+    limited_by_global_window: bool
+    limited_by_seq_gap: bool
+
+
+def new_message_budget(
+    config: ProtocolConfig,
+    received_token: Token,
+    backlog: int,
+    num_retransmissions: int,
+) -> FlowControlDecision:
+    """How many new messages may be initiated this round."""
+    global_budget = config.global_window - received_token.fcc - num_retransmissions
+    gap_budget = received_token.aru + config.max_seq_gap - received_token.seq
+    allowed = min(backlog, config.personal_window, global_budget, gap_budget)
+    allowed = max(0, allowed)
+    return FlowControlDecision(
+        allowed_new=allowed,
+        limited_by_backlog=allowed == backlog,
+        limited_by_personal_window=allowed == config.personal_window,
+        limited_by_global_window=allowed == max(0, global_budget),
+        limited_by_seq_gap=allowed == max(0, gap_budget),
+    )
+
+
+def updated_fcc(
+    received_token: Token,
+    sent_last_round: int,
+    sending_this_round: int,
+) -> int:
+    """New fcc: replace our last-round contribution with this round's."""
+    return received_token.fcc - sent_last_round + sending_this_round

@@ -1,0 +1,80 @@
+"""Small-message packing (Spread's built-in packing, Section IV-A-3).
+
+Spread packs multiple small application messages into a single protocol
+packet bounded by the 1500-byte MTU; sequence numbers, flow control and
+retransmission operate on packets.  The protocol core packs greedily at
+initiation time: whatever is queued when the token arrives gets packed,
+so no artificial batching delay is introduced — an idle sender's single
+message still goes out alone, immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from .config import Service
+
+#: Per-item framing inside a packed packet (length + type + timestamp).
+ITEM_HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class PackedItem:
+    """One application message inside a packed protocol packet."""
+
+    payload: Any
+    payload_size: int
+    submitted_at: Optional[float]
+
+
+@dataclass(frozen=True)
+class PackedPayload:
+    """The payload of a protocol packet carrying several app messages."""
+
+    items: Tuple[PackedItem, ...]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def total_size(self) -> int:
+        return sum(
+            item.payload_size + ITEM_HEADER_BYTES for item in self.items
+        )
+
+
+def pack_next(
+    pending,  # Deque[_PendingMessage]
+    max_packet_payload: int,
+) -> Tuple[PackedPayload, Service, int, Optional[float]]:
+    """Pop and pack the next protocol packet from the pending queue.
+
+    Greedy: keep adding queued messages while they fit and share the
+    packet's service level (a Safe item must not ride in an Agreed
+    packet — it would lose its stability guarantee; an Agreed item in a
+    Safe packet would pay latency it did not ask for).  An oversized
+    first item travels alone (fragmentation is the driver's concern).
+
+    Returns (packed payload, service, packet payload size, earliest
+    submit timestamp).  The caller guarantees ``pending`` is non-empty.
+    """
+    first = pending.popleft()
+    items: List[PackedItem] = [
+        PackedItem(first.payload, first.payload_size, first.submitted_at)
+    ]
+    service = first.service
+    used = first.payload_size + ITEM_HEADER_BYTES
+    while pending:
+        nxt = pending[0]
+        addition = nxt.payload_size + ITEM_HEADER_BYTES
+        if nxt.service is not service or used + addition > max_packet_payload:
+            break
+        pending.popleft()
+        items.append(PackedItem(nxt.payload, nxt.payload_size, nxt.submitted_at))
+        used += addition
+    earliest = min(
+        (i.submitted_at for i in items if i.submitted_at is not None),
+        default=None,
+    )
+    return PackedPayload(tuple(items)), service, used, earliest

@@ -1,0 +1,435 @@
+"""The Accelerated Ring participant: the paper's core contribution.
+
+A :class:`Participant` is a sans-IO state machine.  Drivers feed it the
+token (:meth:`Participant.on_token`) and data messages
+(:meth:`Participant.on_data`); each call returns an **ordered** list of
+:mod:`actions <repro.core.actions>` for the driver to execute.
+
+Token handling follows Section III-A of the paper exactly:
+
+1. **Pre-token multicasting** — answer every answerable retransmission
+   request, then initiate new messages under flow control, *enqueuing*
+   them and multicasting only the overflow beyond the
+   ``Accelerated_window`` (so at most ``Accelerated_window`` messages
+   remain to send after the token).
+2. **Updating and sending the token** — ``seq`` reflects every message of
+   the round (sent or not); ``aru`` follows the lower/raise/track rules;
+   ``fcc`` swaps our last-round contribution for this round's; ``rtr``
+   drops answered requests and adds our gaps, bounded by the seq of the
+   token received in the *previous* round.
+3. **Post-token multicasting** — flush the queue.
+4. **Delivering and discarding** — Agreed messages up to the frontier,
+   Safe messages up to min(aru sent this round, aru sent last round),
+   then stable garbage collection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, List, Optional, Tuple
+
+from . import events as ev
+from .actions import Action, Deliver, Discard, SendData, SendToken
+from .buffer import ReceiveBuffer
+from .config import ProtocolConfig, Service
+from .delivery import DeliveryEngine
+from .errors import TokenError
+from .events import EventHub
+from .flow_control import new_message_budget, updated_fcc
+from .messages import DataMessage, Token
+from .packing import pack_next
+from .priority import PriorityTracker
+from .retransmit import RetransmitTracker
+from .ring import Ring
+
+
+@dataclass
+class _PendingMessage:
+    """An application message waiting for the token."""
+
+    payload: Any
+    service: Service
+    payload_size: int
+    submitted_at: Optional[float]
+
+
+@dataclass
+class ParticipantStats:
+    """Counters exposed for tests and benchmarks."""
+
+    tokens_handled: int = 0
+    duplicate_tokens: int = 0
+    messages_initiated: int = 0
+    messages_sent_pre_token: int = 0
+    messages_sent_post_token: int = 0
+    retransmissions_sent: int = 0
+    retransmissions_requested: int = 0
+    data_received: int = 0
+    data_duplicates: int = 0
+    delivered: int = 0
+    discarded: int = 0
+
+
+class Participant:
+    """One member of an established ring running the ordering protocol."""
+
+    def __init__(
+        self,
+        pid: int,
+        ring: Ring,
+        config: Optional[ProtocolConfig] = None,
+        hub: Optional[EventHub] = None,
+    ) -> None:
+        if pid not in ring:
+            raise TokenError("participant %r not on ring %r" % (pid, ring.members))
+        self.pid = pid
+        self.ring = ring
+        self.config = config or ProtocolConfig()
+        self.hub = hub or EventHub()
+        self.stats = ParticipantStats()
+
+        self._buffer = ReceiveBuffer()
+        self._delivery = DeliveryEngine()
+        self._retransmit = RetransmitTracker()
+        self._priority = PriorityTracker(
+            self.config.priority_method,
+            len(ring),
+            ring.predecessor(pid),
+            ring_index=ring.index_of(pid),
+        )
+        self._pending: Deque[_PendingMessage] = deque()
+        self._accelerated_window = self.config.accelerated_window
+        self._last_received_hop = -1
+        self._sent_last_round = 0
+        self._last_token_sent: Optional[Token] = None
+        self._max_round_seen = 0
+
+    # ------------------------------------------------------------------
+    # Application-facing API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        payload: Any,
+        service: Service = Service.AGREED,
+        payload_size: int = 0,
+        submitted_at: Optional[float] = None,
+    ) -> int:
+        """Queue an application message; returns the backlog length."""
+        self._pending.append(
+            _PendingMessage(payload, service, payload_size, submitted_at)
+        )
+        return len(self._pending)
+
+    @property
+    def backlog(self) -> int:
+        """Application messages waiting for the token."""
+        return len(self._pending)
+
+    def drain_pending(self) -> List[Tuple[Any, Service, int, Optional[float]]]:
+        """Remove and return the queued application messages.
+
+        Used by the membership layer to carry un-sent messages across a
+        configuration change into the participant of the new ring.
+        """
+        drained = [
+            (p.payload, p.service, p.payload_size, p.submitted_at)
+            for p in self._pending
+        ]
+        self._pending.clear()
+        return drained
+
+    # ------------------------------------------------------------------
+    # Observable protocol state
+    # ------------------------------------------------------------------
+
+    @property
+    def accelerated_window(self) -> int:
+        """The live accelerated window (adjustable at runtime)."""
+        return self._accelerated_window
+
+    def set_accelerated_window(self, window: int) -> None:
+        """Adjust the accelerated window on the fly.
+
+        Used by :class:`repro.core.autotune.AcceleratedWindowTuner`; the
+        protocol is correct for any non-negative value at any time
+        (window 0 degenerates to the original protocol's sending
+        pattern), so runtime changes are safe.
+        """
+        self._accelerated_window = max(0, int(window))
+
+    @property
+    def local_aru(self) -> int:
+        return self._buffer.local_aru
+
+    @property
+    def delivered_upto(self) -> int:
+        return self._delivery.delivered_upto
+
+    @property
+    def safe_bound(self) -> int:
+        return self._delivery.safe_bound
+
+    @property
+    def buffer(self) -> ReceiveBuffer:
+        return self._buffer
+
+    @property
+    def token_has_priority(self) -> bool:
+        return self._priority.token_has_priority
+
+    @property
+    def successor(self) -> int:
+        return self.ring.successor(self.pid)
+
+    @property
+    def last_received_hop(self) -> int:
+        return self._last_received_hop
+
+    @property
+    def max_round_seen(self) -> int:
+        """Highest data-message round observed (token-loss detection)."""
+        return self._max_round_seen
+
+    @property
+    def last_token_sent(self) -> Optional[Token]:
+        """The exact token we last sent — retransmitted on timeout."""
+        return self._last_token_sent
+
+    def progress_since_token_send(self) -> bool:
+        """Has the ring demonstrably advanced past our last token send?
+
+        Used by drivers to decide whether a token-retransmission timer
+        should fire: seeing data from a later round, or a newer token,
+        proves the token was not lost.
+        """
+        if self._last_token_sent is None:
+            return False
+        sent_hop = self._last_token_sent.hop
+        return (
+            self._last_received_hop >= sent_hop
+            or self._max_round_seen > sent_hop
+        )
+
+    # ------------------------------------------------------------------
+    # Token handling (Section III-A)
+    # ------------------------------------------------------------------
+
+    def on_token(self, token: Token) -> List[Action]:
+        """Handle a received regular token; returns the ordered actions."""
+        if token.ring_id != self.ring.ring_id:
+            raise TokenError(
+                "token for ring %d handed to participant on ring %d"
+                % (token.ring_id, self.ring.ring_id)
+            )
+        if token.hop <= self._last_received_hop:
+            # A retransmitted token we already handled.
+            self.stats.duplicate_tokens += 1
+            self.hub.emit(ev.DUPLICATE_TOKEN, pid=self.pid, token=token)
+            return []
+        self._last_received_hop = token.hop
+        my_hop = token.hop + 1
+        actions: List[Action] = []
+
+        # -- 1. pre-token phase: retransmissions first ------------------
+        answered, remaining_requests = self._retransmit.answer_requests(
+            token, self._buffer
+        )
+        for message in answered:
+            actions.append(SendData(message, retransmission=True))
+            self.stats.retransmissions_sent += 1
+            self.hub.emit(ev.RETRANSMISSION_SENT, pid=self.pid, message=message)
+        num_retrans = len(answered)
+
+        # -- flow control: how many new messages this round -------------
+        decision = new_message_budget(
+            self.config, token, len(self._pending), num_retrans
+        )
+        pre_messages, post_messages = self._initiate_messages(
+            decision.allowed_new, token.seq, my_hop
+        )
+        created = len(pre_messages) + len(post_messages)
+        for message in pre_messages:
+            actions.append(SendData(message))
+            self.stats.messages_sent_pre_token += 1
+        new_seq = token.seq + created
+
+        # -- our own retransmission requests ------------------------------
+        # The horizon advances before gap computation only when every
+        # message covered by the received token is known to be already
+        # sent (the original protocol); under acceleration it advances
+        # after, restricting requests to the previous round's seq.
+        if self.config.request_current_round:
+            self._retransmit.advance_horizon(token.seq)
+            my_requests = self._my_retransmission_requests()
+        else:
+            my_requests = self._my_retransmission_requests()
+            self._retransmit.advance_horizon(token.seq)
+        rtr_out = self._retransmit.merge_requests(remaining_requests, my_requests)
+
+        # -- 2. update and send the token --------------------------------
+        new_aru, new_aru_id = self._updated_aru(token, new_seq)
+        fcc_out = updated_fcc(token, self._sent_last_round, num_retrans + created)
+        self._sent_last_round = num_retrans + created
+
+        token_out = token.evolve(
+            hop=my_hop,
+            seq=new_seq,
+            aru=new_aru,
+            aru_id=new_aru_id,
+            fcc=fcc_out,
+            rtr=rtr_out,
+        )
+        actions.append(SendToken(token_out, self.successor))
+        self._last_token_sent = token_out
+
+        # -- 3. post-token phase: flush the accelerated queue ------------
+        for message in post_messages:
+            actions.append(SendData(message))
+            self.stats.messages_sent_post_token += 1
+
+        # -- 4. deliver and discard --------------------------------------
+        self._delivery.note_token_sent(new_aru)
+        actions.extend(self._deliver_and_discard())
+
+        self._priority.note_token_handled(my_hop)
+        self.stats.tokens_handled += 1
+        self.hub.emit(
+            ev.TOKEN_HANDLED,
+            pid=self.pid,
+            received=token,
+            sent=token_out,
+            new_messages=decision.allowed_new,
+            retransmissions=num_retrans,
+        )
+        return actions
+
+    # ------------------------------------------------------------------
+    # Data handling (Section III-B)
+    # ------------------------------------------------------------------
+
+    def on_data(self, message: DataMessage) -> List[Action]:
+        """Handle a received data message; returns delivery actions."""
+        if message.round > self._max_round_seen:
+            self._max_round_seen = message.round
+        is_new = self._buffer.insert(message)
+        self._priority.note_data_processed(message)
+        if not is_new:
+            self.stats.data_duplicates += 1
+            self.hub.emit(ev.DATA_RECEIVED, pid=self.pid, message=message, new=False)
+            return []
+        self.stats.data_received += 1
+        self.hub.emit(ev.DATA_RECEIVED, pid=self.pid, message=message, new=True)
+        actions: List[Action] = []
+        for delivered in self._delivery.collect_deliverable(self._buffer):
+            actions.append(Deliver(delivered))
+            self.stats.delivered += 1
+            self.hub.emit(ev.MESSAGE_DELIVERED, pid=self.pid, message=delivered)
+        return actions
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _initiate_messages(
+        self, allowed: int, base_seq: int, my_hop: int
+    ) -> Tuple[List[DataMessage], List[DataMessage]]:
+        """Create this round's new messages, split into pre/post-token.
+
+        Mirrors the paper's queue construction: messages are prepared in
+        submission order; once the queue holds more than
+        ``Accelerated_window`` messages the overflow is multicast
+        immediately (pre-token), and whatever remains in the queue (at
+        most the accelerated window) is sent post-token.
+
+        With ``pack_messages`` enabled, each protocol packet greedily
+        packs queued small messages up to the MTU budget (Spread's
+        built-in packing); flow control counts packets.
+        """
+        messages: List[DataMessage] = []
+        for _offset in range(allowed):
+            if not self._pending:
+                break
+            if self.config.pack_messages:
+                payload, service, size, submitted_at = pack_next(
+                    self._pending, self.config.max_packet_payload
+                )
+            else:
+                pending = self._pending.popleft()
+                payload = pending.payload
+                service = pending.service
+                size = pending.payload_size
+                submitted_at = pending.submitted_at
+            messages.append(
+                DataMessage(
+                    seq=base_seq + len(messages) + 1,
+                    pid=self.pid,
+                    round=my_hop,
+                    service=service,
+                    payload=payload,
+                    payload_size=size,
+                    submitted_at=submitted_at,
+                )
+            )
+        post_count = min(len(messages), self._accelerated_window)
+        split = len(messages) - post_count
+        pre = messages[:split]
+        post = [m.as_post_token() for m in messages[split:]]
+        for message in pre + post:
+            # Our own messages are in our buffer from the moment they are
+            # prepared (the loopback copy, if any, is a duplicate).
+            self._buffer.insert(message)
+            self.stats.messages_initiated += 1
+            self.hub.emit(ev.MESSAGE_SENT, pid=self.pid, message=message)
+        return pre, post
+
+    def _my_retransmission_requests(self) -> List[int]:
+        missing = self._retransmit.my_new_requests(self._buffer)
+        if missing:
+            self.stats.retransmissions_requested += len(missing)
+            self.hub.emit(
+                ev.RETRANSMISSION_REQUESTED, pid=self.pid, seqs=tuple(missing)
+            )
+        return missing
+
+    def _updated_aru(self, token: Token, new_seq: int) -> Tuple[int, Optional[int]]:
+        """The aru lower/raise/track rules (Section III-A-2).
+
+        Called after our own messages are in the buffer, so
+        ``local_aru`` already covers them when we were fully caught up.
+        """
+        local = self._buffer.local_aru
+        if local < token.aru:
+            # Rule 1: lower to our local aru and take ownership.
+            return local, self.pid
+        if token.aru_id == self.pid:
+            # Rule 2: we lowered it before and nobody lowered it since
+            # (they would have taken ownership) — raise to our local aru,
+            # releasing ownership once we are fully caught up.
+            return local, (self.pid if local < new_seq else None)
+        if token.aru_id is None and token.aru == token.seq:
+            # Rule 3: everyone had received everything through the
+            # received token's seq; the aru tracks seq across our new
+            # messages (all of which we trivially hold).
+            return local, None
+        return token.aru, token.aru_id
+
+    def _deliver_and_discard(self) -> List[Action]:
+        actions: List[Action] = []
+        for delivered in self._delivery.collect_deliverable(self._buffer):
+            actions.append(Deliver(delivered))
+            self.stats.delivered += 1
+            self.hub.emit(ev.MESSAGE_DELIVERED, pid=self.pid, message=delivered)
+        discard_to = self._delivery.discardable_upto()
+        released = self._buffer.discard_upto(discard_to)
+        if released:
+            actions.append(Discard(discard_to))
+            self.stats.discarded += released
+            self.hub.emit(ev.MESSAGES_DISCARDED, pid=self.pid, upto=discard_to)
+        return actions
+
+    def __repr__(self) -> str:
+        return "Participant(pid=%d, aru=%d, delivered=%d, backlog=%d)" % (
+            self.pid, self.local_aru, self.delivered_upto, self.backlog,
+        )

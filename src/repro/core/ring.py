@@ -1,0 +1,59 @@
+"""Logical ring topology: ordered participants with successor links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from .errors import RingError
+
+
+@dataclass(frozen=True)
+class Ring:
+    """An established ring: an ordered tuple of participant ids.
+
+    The token travels ``members[i] -> members[i + 1]`` (wrapping).  The
+    membership algorithm produces rings; during static operation the ring
+    never changes.
+    """
+
+    members: Tuple[int, ...]
+    ring_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise RingError("a ring needs at least one member")
+        if len(set(self.members)) != len(self.members):
+            raise RingError("duplicate participant ids in ring: %r" % (self.members,))
+
+    @classmethod
+    def of(cls, members: Sequence[int], ring_id: int = 0) -> "Ring":
+        return cls(tuple(members), ring_id)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.members)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self.members
+
+    def index_of(self, pid: int) -> int:
+        try:
+            return self.members.index(pid)
+        except ValueError:
+            raise RingError("participant %r is not on ring %r" % (pid, self.members))
+
+    def successor(self, pid: int) -> int:
+        """Next participant after ``pid`` in token order."""
+        return self.members[(self.index_of(pid) + 1) % len(self.members)]
+
+    def predecessor(self, pid: int) -> int:
+        """Participant whose token handling immediately precedes ``pid``'s."""
+        return self.members[(self.index_of(pid) - 1) % len(self.members)]
+
+    @property
+    def leader(self) -> int:
+        """The representative that injects the first token (lowest index)."""
+        return self.members[0]

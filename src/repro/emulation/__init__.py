@@ -1,0 +1,11 @@
+"""The protocol over real UDP sockets (laptop-scale, threads).
+
+The library-based prototype of the paper, in miniature: real datagrams,
+real kernel buffers, real token acceleration — on 127.0.0.1.
+"""
+
+from .cluster import EmulatedRing
+from .node import EmulatedNode
+from .transport import PortPair, UdpTransport
+
+__all__ = ["EmulatedRing", "EmulatedNode", "UdpTransport", "PortPair"]

@@ -1,0 +1,112 @@
+"""Real-socket transport: UDP on localhost.
+
+The paper's implementations use IP-multicast for data and UDP unicast
+for the token, on separate ports/sockets (Section III-D).  This
+emulation keeps the two-socket structure but builds logical multicast
+from unicast fan-out so it runs anywhere (the paper notes Spread offers
+the same fallback where IP-multicast is unavailable).
+
+Objects are pickled; this is a localhost research harness, not a wire
+format.
+"""
+
+from __future__ import annotations
+
+import pickle
+import select
+import socket
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Loss hook for tests: (kind, obj, dst_pid) -> True to drop the send.
+SendLossRule = Callable[[str, Any, int], bool]
+
+#: Generous datagram budget for pickled protocol objects on loopback.
+MAX_DATAGRAM = 60_000
+
+
+class PortPair:
+    """The two receive ports of one node (data, token)."""
+
+    def __init__(self, data_port: int, token_port: int) -> None:
+        self.data_port = data_port
+        self.token_port = token_port
+
+
+class UdpTransport:
+    """Two bound UDP sockets plus fan-out addressing of all peers."""
+
+    def __init__(self, pid: int, host: str = "127.0.0.1") -> None:
+        self.pid = pid
+        self.host = host
+        self._data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._token_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        for sock in (self._data_sock, self._token_sock):
+            sock.bind((host, 0))
+            sock.setblocking(False)
+        self.ports = PortPair(
+            self._data_sock.getsockname()[1],
+            self._token_sock.getsockname()[1],
+        )
+        self._peers: Dict[int, PortPair] = {}
+        self._loss: Optional[SendLossRule] = None
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+
+    def set_peers(self, peers: Dict[int, PortPair]) -> None:
+        self._peers = dict(peers)
+
+    def set_loss_rule(self, rule: Optional[SendLossRule]) -> None:
+        self._loss = rule
+
+    # -- sending ----------------------------------------------------------
+
+    def send_data(self, obj: Any) -> None:
+        """Logical multicast: unicast the datagram to every peer."""
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(blob) > MAX_DATAGRAM:
+            raise ValueError("datagram too large: %d bytes" % len(blob))
+        for pid, ports in self._peers.items():
+            if pid == self.pid:
+                continue
+            if self._loss is not None and self._loss("data", obj, pid):
+                continue
+            self._data_sock.sendto(blob, (self.host, ports.data_port))
+            self.datagrams_sent += 1
+
+    def send_token(self, obj: Any, dst: int) -> None:
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        if self._loss is not None and self._loss("token", obj, dst):
+            return
+        ports = self._peers[dst]
+        self._token_sock.sendto(blob, (self.host, ports.token_port))
+        self.datagrams_sent += 1
+
+    # -- receiving ---------------------------------------------------------
+
+    def _drain(self, sock: socket.socket) -> List[Any]:
+        received = []
+        while True:
+            try:
+                blob, _addr = sock.recvfrom(MAX_DATAGRAM + 1024)
+            except BlockingIOError:
+                break
+            received.append(pickle.loads(blob))
+            self.datagrams_received += 1
+        return received
+
+    def poll(self, timeout_s: float) -> Tuple[List[Any], List[Any]]:
+        """Wait up to ``timeout_s``; returns (data_objs, token_objs)."""
+        readable, _w, _x = select.select(
+            [self._data_sock, self._token_sock], [], [], timeout_s
+        )
+        data: List[Any] = []
+        tokens: List[Any] = []
+        if self._data_sock in readable:
+            data = self._drain(self._data_sock)
+        if self._token_sock in readable:
+            tokens = self._drain(self._token_sock)
+        return data, tokens
+
+    def close(self) -> None:
+        self._data_sock.close()
+        self._token_sock.close()

@@ -1,0 +1,14 @@
+"""Extended Virtual Synchrony layer: configurations and app-level events."""
+
+from .configuration import (
+    AppMessage,
+    ConfigChange,
+    Configuration,
+    ConfigurationKind,
+)
+from .semantics import EVSViolation, check_all, check_virtual_synchrony
+
+__all__ = [
+    "Configuration", "ConfigurationKind", "ConfigChange", "AppMessage",
+    "EVSViolation", "check_all", "check_virtual_synchrony",
+]

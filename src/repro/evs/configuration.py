@@ -1,0 +1,72 @@
+"""Extended Virtual Synchrony configurations (Section II).
+
+EVS defines delivery guarantees relative to a series of
+*configurations*: sets of connected participants with unique
+identifiers.  A **regular** configuration is an established ring; a
+**transitional** configuration is the bridge EVS inserts during a
+membership change — the subset of the old configuration's members that
+continue together into the new one, in which messages that cannot get
+the old configuration's full guarantees are delivered with weakened
+(transitional) guarantees.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class ConfigurationKind(enum.Enum):
+    REGULAR = "regular"
+    TRANSITIONAL = "transitional"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One configuration in the EVS sense."""
+
+    kind: ConfigurationKind
+    ring_id: int
+    members: Tuple[int, ...]
+
+    @classmethod
+    def regular(cls, ring_id: int, members) -> "Configuration":
+        return cls(ConfigurationKind.REGULAR, ring_id, tuple(sorted(members)))
+
+    @classmethod
+    def transitional(cls, ring_id: int, members) -> "Configuration":
+        return cls(ConfigurationKind.TRANSITIONAL, ring_id, tuple(sorted(members)))
+
+    @property
+    def is_regular(self) -> bool:
+        return self.kind is ConfigurationKind.REGULAR
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self.members
+
+    def __repr__(self) -> str:
+        return "Configuration(%s, ring=%d, members=%s)" % (
+            self.kind.value, self.ring_id, list(self.members),
+        )
+
+
+@dataclass(frozen=True)
+class ConfigChange:
+    """Delivered to the application when the configuration changes."""
+
+    configuration: Configuration
+
+
+@dataclass(frozen=True)
+class AppMessage:
+    """An ordered message as the application sees it."""
+
+    ring_id: int
+    seq: int
+    sender: int
+    payload: object
+    safe: bool
+    #: True when delivered in a transitional configuration (weakened
+    #: guarantees per EVS).
+    transitional: bool = False

@@ -1,0 +1,165 @@
+"""Executable EVS semantics: validate application event logs.
+
+Tests hand each process's ``app_log`` (AppMessage / ConfigChange
+sequence) to these checkers, which assert the Extended Virtual
+Synchrony axioms the service model of Section II promises.  Keeping the
+axioms in one place makes every membership test check ALL of them, not
+just the one it was written for.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .configuration import AppMessage, ConfigChange, Configuration
+
+
+class EVSViolation(AssertionError):
+    """An EVS axiom does not hold for the supplied logs."""
+
+
+Event = Union[AppMessage, ConfigChange]
+
+
+def _segments(log: Sequence[Event]) -> List[Tuple[Configuration, List[AppMessage]]]:
+    """Split a log into (configuration, messages delivered in it)."""
+    segments: List[Tuple[Configuration, List[AppMessage]]] = []
+    current: List[AppMessage] = []
+    config: Configuration = None
+    for event in log:
+        if isinstance(event, ConfigChange):
+            if config is not None:
+                segments.append((config, current))
+            config = event.configuration
+            current = []
+        else:
+            if config is None:
+                raise EVSViolation("message delivered before any configuration")
+            current.append(event)
+    if config is not None:
+        segments.append((config, current))
+    return segments
+
+
+def check_self_inclusion(log: Sequence[Event], pid: int) -> None:
+    """Every delivered configuration includes the process itself."""
+    for config, _messages in _segments(log):
+        if pid not in config:
+            raise EVSViolation(
+                "process %d delivered configuration %r it is not part of"
+                % (pid, config)
+            )
+
+
+def check_messages_within_configuration(log: Sequence[Event]) -> None:
+    """Messages are attributed to the configuration they belong to.
+
+    A message delivered while configuration C is installed must carry
+    C's ring id (recovered old-ring messages are delivered before the
+    next regular configuration, under the old ring id).
+    """
+    for config, messages in _segments(log):
+        for message in messages:
+            if message.ring_id != config.ring_id:
+                raise EVSViolation(
+                    "message %r delivered under configuration %r"
+                    % (message, config)
+                )
+
+
+def check_seq_order_within_configuration(log: Sequence[Event]) -> None:
+    """Within one configuration, delivery follows increasing seq."""
+    for config, messages in _segments(log):
+        seqs = [m.seq for m in messages]
+        if seqs != sorted(seqs):
+            raise EVSViolation(
+                "out-of-seq delivery in configuration %r: %r" % (config, seqs)
+            )
+
+
+def check_transitional_placement(log: Sequence[Event]) -> None:
+    """Transitional messages only appear in transitional configurations."""
+    for config, messages in _segments(log):
+        for message in messages:
+            if message.transitional and config.is_regular:
+                raise EVSViolation(
+                    "transitional-flagged message %r in regular config %r"
+                    % (message, config)
+                )
+
+
+def check_virtual_synchrony(
+    logs: Dict[int, Sequence[Event]],
+) -> None:
+    """Processes that share a configuration deliver the same messages
+    in it, in the same order (the heart of virtual synchrony).
+
+    A configuration a process has already LEFT (a closed segment) must
+    match other processes' closed segments exactly; the configuration a
+    process is still in (its final, open segment) only needs to be
+    prefix-consistent — the run may have been snapshotted mid-flight.
+    """
+    # Per configuration: every process's view of it, its open/closed
+    # status, and the configuration it moved to NEXT (None while open).
+    views: Dict[Tuple, Dict[int, Tuple[List[Tuple[int, object]], Tuple]]] = defaultdict(dict)
+    for pid, log in logs.items():
+        segments = _segments(log)
+        for index, (config, messages) in enumerate(segments):
+            key = (config.kind, config.ring_id, config.members)
+            view = [(m.seq, m.payload) for m in messages]
+            if index == len(segments) - 1:
+                next_key = None  # still open
+            else:
+                next_config = segments[index + 1][0]
+                next_key = (next_config.kind, next_config.ring_id,
+                            next_config.members)
+            views[key][pid] = (view, next_key)
+    for key, per_pid in views.items():
+        entries = sorted(per_pid.items())
+        # 1. ALL views of one configuration are prefix-related: the
+        #    total order is shared even by processes that part ways.
+        ordered = sorted((view for view, _next in per_pid.values()), key=len)
+        for a, b in zip(ordered, ordered[1:]):
+            if b[: len(a)] != a:
+                raise EVSViolation(
+                    "virtual synchrony violated in configuration %r: "
+                    "views are not prefix-related" % (key,)
+                )
+        # 2. Processes that CONTINUE TOGETHER (same closed segment, same
+        #    next configuration) must have delivered exactly the same
+        #    messages — the EVS equality guarantee proper.
+        by_next: Dict[Tuple, List[List]] = defaultdict(list)
+        for _pid, (view, next_key) in entries:
+            if next_key is not None:
+                by_next[next_key].append(view)
+        for next_key, group in by_next.items():
+            for view in group[1:]:
+                if view != group[0]:
+                    raise EVSViolation(
+                        "virtual synchrony violated in configuration %r: "
+                        "processes moving together to %r delivered "
+                        "different sets" % (key, next_key)
+                    )
+
+
+def check_no_duplicates(log: Sequence[Event]) -> None:
+    """No (ring_id, seq) is ever delivered twice."""
+    seen = set()
+    for event in log:
+        if isinstance(event, AppMessage):
+            key = (event.ring_id, event.seq)
+            if key in seen:
+                raise EVSViolation("duplicate delivery of %r" % (key,))
+            seen.add(key)
+
+
+def check_all(logs: Dict[int, Sequence[Event]]) -> None:
+    """Run every per-log axiom plus cross-log virtual synchrony."""
+    for pid, log in logs.items():
+        check_self_inclusion(log, pid)
+        check_messages_within_configuration(log)
+        check_seq_order_within_configuration(log)
+        check_transitional_placement(log)
+        check_no_duplicates(log)
+    check_virtual_synchrony(logs)

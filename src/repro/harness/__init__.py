@@ -1,0 +1,5 @@
+"""In-process drivers for correctness testing and examples."""
+
+from .loopback import LoopbackRing, StabilityViolation
+
+__all__ = ["LoopbackRing", "StabilityViolation"]

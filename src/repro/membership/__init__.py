@@ -1,0 +1,23 @@
+"""Totem-style membership with Extended Virtual Synchrony delivery.
+
+The ordering protocol (the paper's contribution) assumes an established
+ring; this package provides the substrate that establishes and changes
+rings: failure detection, the Gather/Commit/Recover state machine, and
+recovery of old-ring messages with EVS transitional semantics.
+"""
+
+from .controller import EVSProcess, MembershipTimeouts, Outgoing, State
+from .messages import (
+    CommitToken,
+    JoinMessage,
+    MemberInfo,
+    ProbeMessage,
+    RecoveryComplete,
+    RecoveryData,
+)
+
+__all__ = [
+    "EVSProcess", "MembershipTimeouts", "Outgoing", "State",
+    "JoinMessage", "CommitToken", "MemberInfo", "ProbeMessage",
+    "RecoveryData", "RecoveryComplete",
+]

@@ -1,0 +1,217 @@
+"""Discrete-event simulation kernel.
+
+A deliberately small, fast, generator-based kernel in the style of simpy.
+Simulated entities are *processes*: Python generators that yield either a
+:class:`Timeout` (sleep for simulated seconds) or a :class:`Signal` (wait
+until some other process triggers it).  The kernel owns a single event
+queue ordered by simulated time; ties are broken by insertion order so the
+simulation is fully deterministic.
+
+The network substrate (:mod:`repro.net`) and the protocol hosts
+(:mod:`repro.sim`) are built entirely on this kernel, which keeps the
+protocol code free of wall-clock concerns and makes every experiment
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(Exception):
+    """Raised when the kernel is used incorrectly."""
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError("negative timeout: %r" % delay)
+        self.delay = delay
+
+    def __repr__(self) -> str:
+        return "Timeout(%g)" % self.delay
+
+
+class Signal:
+    """A triggerable, reusable event.
+
+    Processes that yield a signal are suspended until :meth:`fire` is
+    called, at which point all current waiters are resumed (in the order
+    they started waiting) with the fired value.  Waiters that arrive after
+    a fire wait for the next fire; a Signal carries no memory of past
+    fires.  Use :class:`Latch` when the "already happened" memory matters.
+    """
+
+    __slots__ = ("sim", "name", "_waiters")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._waiters: List["Process"] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Resume every process currently waiting on this signal."""
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim._schedule_resume(process, value)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:
+        return "Signal(%s, waiters=%d)" % (self.name, len(self._waiters))
+
+
+class Latch(Signal):
+    """A one-shot signal that remembers having fired.
+
+    Waiting on an already-fired latch resumes immediately with the stored
+    value.  Used for completion events (e.g. "simulation warmed up").
+    """
+
+    __slots__ = ("fired", "value")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        super().__init__(sim, name)
+        self.fired = False
+        self.value: Any = None
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired:
+            return
+        self.fired = True
+        self.value = value
+        super().fire(value)
+
+
+class Process:
+    """A running generator, driven by the kernel."""
+
+    __slots__ = ("sim", "name", "_generator", "alive", "_done_latch")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self.alive = True
+        self._done_latch = Latch(sim, name + ".done")
+
+    @property
+    def done(self) -> Latch:
+        """Latch fired when this process finishes."""
+        return self._done_latch
+
+    def _step(self, value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration:
+            self.alive = False
+            self._done_latch.fire()
+            return
+        if isinstance(yielded, Timeout):
+            self.sim.call_in(yielded.delay, self.sim._schedule_resume, self, None)
+        elif isinstance(yielded, Signal):
+            yielded_signal = yielded
+            if isinstance(yielded_signal, Latch) and yielded_signal.fired:
+                self.sim._schedule_resume(self, yielded_signal.value)
+            else:
+                yielded_signal._waiters.append(self)
+        else:
+            raise SimulationError(
+                "process %s yielded %r; expected Timeout or Signal"
+                % (self.name, yielded)
+            )
+
+    def interrupt(self) -> None:
+        """Stop the process.  It will never be resumed again."""
+        self.alive = False
+
+    def __repr__(self) -> str:
+        return "Process(%s, alive=%s)" % (self.name, self.alive)
+
+
+class Simulator:
+    """The event loop: a priority queue of timestamped callbacks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Any] = []
+        self._tie = itertools.count()
+        self._event_count = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def call_in(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past (delay=%r)" % delay)
+        heapq.heappush(self._queue, (self.now + delay, next(self._tie), fn, args))
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute simulated time ``when``."""
+        self.call_in(when - self.now, fn, *args)
+
+    def _schedule_resume(self, process: Process, value: Any) -> None:
+        self.call_in(0.0, process._step, value)
+
+    # -- processes -------------------------------------------------------
+
+    def spawn(self, generator: Generator, name: str = "process") -> Process:
+        """Start a new process from a generator; it runs at the current time."""
+        process = Process(self, generator, name)
+        self._schedule_resume(process, None)
+        return process
+
+    def signal(self, name: str = "") -> Signal:
+        return Signal(self, name)
+
+    def latch(self, name: str = "") -> Latch:
+        return Latch(self, name)
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 200_000_000) -> None:
+        """Drain the event queue.
+
+        ``until`` bounds simulated time (events at exactly ``until`` run);
+        ``max_events`` is a runaway-loop backstop.
+        """
+        queue = self._queue
+        count = 0
+        while queue:
+            when, _tie, fn, args = queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            heapq.heappop(queue)
+            self.now = when
+            fn(*args)
+            count += 1
+            self._event_count += 1
+            if count >= max_events:
+                raise SimulationError("exceeded max_events=%d" % max_events)
+        if until is not None:
+            self.now = until
+
+    @property
+    def event_count(self) -> int:
+        """Total number of events executed so far (for diagnostics)."""
+        return self._event_count
+
+    def __repr__(self) -> str:
+        return "Simulator(now=%g, pending=%d)" % (self.now, len(self._queue))
+
+
+def drain(iterable: Iterable[Any]) -> None:
+    """Exhaust an iterable for its side effects (explicit, unlike list())."""
+    for _item in iterable:
+        pass

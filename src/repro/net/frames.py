@@ -1,0 +1,73 @@
+"""Wire-level frame model for the simulated network.
+
+A :class:`Frame` is what travels on links: it carries an opaque payload
+(the protocol message object), explicit byte sizes for serialization-delay
+accounting, and an addressing mode (unicast destination or multicast).
+
+The Accelerated Ring implementations in the paper send data messages with
+IP-multicast and the token with UDP unicast; we model both as frames with
+different ``dst`` and ``traffic`` values, received on distinct logical
+ports (the paper's "different sockets for token and data").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Ethernet + IP + UDP framing overhead added to every datagram, in bytes.
+#: 14 (Ethernet) + 4 (FCS) + 20 (IP) + 8 (UDP) + 24 (preamble/IPG equivalent).
+WIRE_OVERHEAD = 70
+
+#: Maximum payload of a single standard Ethernet frame (no jumbo frames).
+ETHERNET_MTU = 1500
+
+
+class Traffic(enum.Enum):
+    """Logical receive port: the protocol separates token and data sockets."""
+
+    DATA = "data"
+    TOKEN = "token"
+
+
+_frame_ids = itertools.count()
+
+
+@dataclass
+class Frame:
+    """One UDP datagram on the simulated network.
+
+    ``size`` is the datagram size (protocol headers + payload, excluding
+    link-layer overhead); :meth:`wire_bytes` accounts for fragmentation of
+    datagrams larger than the MTU — the paper's 8850-byte experiments use
+    kernel-level fragmentation across six frames, and the loss of any
+    fragment loses the whole datagram.
+    """
+
+    src: int
+    dst: Optional[int]  # None means multicast to every other port
+    traffic: Traffic
+    size: int
+    payload: Any
+    sent_at: float = 0.0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    @property
+    def is_multicast(self) -> bool:
+        return self.dst is None
+
+    def fragment_count(self) -> int:
+        """Number of Ethernet frames the datagram occupies on the wire."""
+        return max(1, -(-self.size // ETHERNET_MTU))
+
+    def wire_bytes(self) -> int:
+        """Total bytes on the wire including per-fragment overhead."""
+        return self.size + self.fragment_count() * WIRE_OVERHEAD
+
+    def __repr__(self) -> str:
+        target = "mcast" if self.is_multicast else str(self.dst)
+        return "Frame(#%d %s %d->%s %dB)" % (
+            self.frame_id, self.traffic.value, self.src, target, self.size,
+        )

@@ -1,0 +1,142 @@
+"""Loss models for fault-injection.
+
+The switch already drops frames on genuine buffer overflow; these models
+inject *additional* loss so tests can exercise retransmission, token loss,
+and the accelerated protocol's retransmission discipline under controlled,
+reproducible conditions.  All randomness is seeded.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Optional, Set
+
+from .frames import Frame, Traffic
+
+#: A loss model is a predicate: return True to DROP the frame.
+LossModel = Callable[[Frame], bool]
+
+
+def no_loss(_frame: Frame) -> bool:
+    """The default: drop nothing beyond real buffer overflow."""
+    return False
+
+
+class BernoulliLoss:
+    """Drop each frame independently with probability ``p`` (seeded)."""
+
+    def __init__(self, p: float, seed: int = 0, spare_token: bool = False) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("loss probability must be in [0, 1], got %r" % p)
+        self.p = p
+        self.spare_token = spare_token
+        self._rng = random.Random(seed)
+        self.dropped = 0
+
+    def __call__(self, frame: Frame) -> bool:
+        if self.spare_token and frame.traffic is Traffic.TOKEN:
+            return False
+        if self._rng.random() < self.p:
+            self.dropped += 1
+            return True
+        return False
+
+
+class TargetedLoss:
+    """Drop specific frames by predicate — deterministic fault injection.
+
+    Example: drop the 3rd data frame from host 2, or every token once.
+    """
+
+    def __init__(self, should_drop: Callable[[Frame], bool], max_drops: Optional[int] = None) -> None:
+        self._should_drop = should_drop
+        self._max_drops = max_drops
+        self.dropped = 0
+
+    def __call__(self, frame: Frame) -> bool:
+        if self._max_drops is not None and self.dropped >= self._max_drops:
+            return False
+        if self._should_drop(frame):
+            self.dropped += 1
+            return True
+        return False
+
+
+class SequenceLoss:
+    """Drop data frames whose protocol message carries a listed seq.
+
+    The payload must expose a ``seq`` attribute (our DataMessage does);
+    frames without one are never dropped.  Each seq is dropped at most
+    ``times`` times, so retransmissions eventually get through.
+    """
+
+    def __init__(self, seqs: Iterable[int], times: int = 1) -> None:
+        self._remaining = {seq: times for seq in seqs}
+        self.dropped = 0
+
+    def __call__(self, frame: Frame) -> bool:
+        seq = getattr(frame.payload, "seq", None)
+        if seq is None or frame.traffic is not Traffic.DATA:
+            return False
+        left = self._remaining.get(seq, 0)
+        if left > 0:
+            self._remaining[seq] = left - 1
+            self.dropped += 1
+            return True
+        return False
+
+
+class PerFragmentLoss:
+    """Frame-level loss applied per Ethernet fragment of a datagram.
+
+    The paper's Section IV-A-3 caveat for large UDP datagrams: "the
+    loss of a single frame results in the loss of the whole datagram".
+    A datagram spanning k fragments is therefore lost with probability
+    1 - (1 - p)^k — loss amplification that grows with payload size.
+    """
+
+    def __init__(self, p_per_fragment: float, seed: int = 0,
+                 spare_token: bool = True) -> None:
+        if not 0.0 <= p_per_fragment <= 1.0:
+            raise ValueError("fragment loss probability must be in [0, 1]")
+        self.p = p_per_fragment
+        self.spare_token = spare_token
+        self._rng = random.Random(seed)
+        self.dropped = 0
+        self.fragments_seen = 0
+
+    def __call__(self, frame: Frame) -> bool:
+        if self.spare_token and frame.traffic is Traffic.TOKEN:
+            return False
+        fragments = frame.fragment_count()
+        self.fragments_seen += fragments
+        for _fragment in range(fragments):
+            if self._rng.random() < self.p:
+                self.dropped += 1
+                return True
+        return False
+
+
+class ReceiverLoss:
+    """Drop frames only on the path to specific receivers.
+
+    The switch applies loss per output port, so a multicast frame can be
+    lost by one participant and received by the rest — the scenario that
+    makes retransmission requests participant-specific.
+    """
+
+    def __init__(self, receivers: Iterable[int], inner: LossModel) -> None:
+        self._receivers: Set[int] = set(receivers)
+        self._inner = inner
+        self.dropped = 0
+
+    def for_port(self, port_host: int) -> LossModel:
+        def model(frame: Frame) -> bool:
+            if port_host not in self._receivers:
+                return False
+            if self._inner(frame):
+                self.dropped += 1
+                return True
+            return False
+
+        return model

@@ -1,0 +1,66 @@
+"""Network observability: byte/frame accounting across the fabric.
+
+Used by benchmarks to report achieved utilization and by tests to assert
+conservation properties (bytes in == bytes out + drops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .engine import Simulator, Timeout
+from .nic import Nic
+from .switch import Switch
+
+
+@dataclass
+class FabricSnapshot:
+    """Aggregated counters at one instant."""
+
+    time: float
+    frames_sent: int
+    bytes_sent: int
+    frames_forwarded: int
+    switch_drops: int
+    nic_drops: int
+    max_port_queue_bytes: int
+
+
+class FabricMonitor:
+    """Aggregates NIC and switch counters; can sample queue depths."""
+
+    def __init__(self, sim: Simulator, switch: Switch, nics: List[Nic]) -> None:
+        self.sim = sim
+        self.switch = switch
+        self.nics = nics
+        self.samples: List[FabricSnapshot] = []
+
+    def snapshot(self) -> FabricSnapshot:
+        ports = [self.switch.port(h) for h in self.switch.host_ids]
+        return FabricSnapshot(
+            time=self.sim.now,
+            frames_sent=sum(n.frames_sent for n in self.nics),
+            bytes_sent=sum(n.bytes_sent for n in self.nics),
+            frames_forwarded=sum(p.frames_forwarded for p in ports),
+            switch_drops=self.switch.total_drops(),
+            nic_drops=sum(n.drops_overflow for n in self.nics),
+            max_port_queue_bytes=max((p.max_queue_bytes for p in ports), default=0),
+        )
+
+    def sample_periodically(self, interval_s: float) -> None:
+        """Spawn a process recording a snapshot every ``interval_s``."""
+
+        def sampler():
+            while True:
+                yield Timeout(interval_s)
+                self.samples.append(self.snapshot())
+
+        self.sim.spawn(sampler(), "fabric-monitor")
+
+    def utilization(self, link_rate_bps: float, window_s: float) -> float:
+        """Fraction of one link's capacity used by forwarded bytes/window."""
+        if window_s <= 0:
+            return 0.0
+        snap = self.snapshot()
+        return (snap.bytes_sent * 8.0 / window_s) / link_rate_bps

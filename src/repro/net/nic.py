@@ -1,0 +1,83 @@
+"""Host network interface: a transmit queue serialized at line rate.
+
+The sending side of a host.  The protocol stack hands datagrams to the
+NIC instantly (the CPU cost of the send syscall is charged by the host
+model in :mod:`repro.sim.node`); the NIC clocks them onto the wire one at
+a time at the link rate, which is what creates the serialization delay
+that dominates 1-gigabit behaviour in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque
+
+from .engine import Simulator, Timeout
+from .frames import Frame
+from .links import LinkSpec
+
+
+class Nic:
+    """Transmit path of one host: bounded byte queue + line-rate clocking."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host_id: int,
+        spec: LinkSpec,
+        deliver_to_switch: Callable[[Frame], None],
+    ) -> None:
+        self.sim = sim
+        self.host_id = host_id
+        self.spec = spec
+        self._deliver_to_switch = deliver_to_switch
+        self._queue: Deque[Frame] = deque()
+        self._queued_bytes = 0
+        self._wakeup = sim.signal("nic%d.tx" % host_id)
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.drops_overflow = 0
+        self._process = sim.spawn(self._tx_loop(), "nic%d" % host_id)
+
+    # -- host-facing API ---------------------------------------------------
+
+    def send(self, frame: Frame) -> bool:
+        """Enqueue a datagram for transmission.
+
+        Returns False (and counts a drop) if the transmit queue is full —
+        the equivalent of a qdisc overflow.  The protocol's flow control
+        is what keeps this from happening in correct configurations.
+        """
+        wire = frame.wire_bytes()
+        if self._queued_bytes + wire > self.spec.nic_queue_bytes:
+            self.drops_overflow += 1
+            return False
+        frame.sent_at = self.sim.now
+        self._queue.append(frame)
+        self._queued_bytes += wire
+        self._wakeup.fire()
+        return True
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    @property
+    def is_idle(self) -> bool:
+        return not self._queue
+
+    # -- internals ----------------------------------------------------------
+
+    def _tx_loop(self):
+        spec = self.spec
+        while True:
+            if not self._queue:
+                yield self._wakeup
+                continue
+            frame = self._queue.popleft()
+            wire = frame.wire_bytes()
+            self._queued_bytes -= wire
+            yield Timeout(spec.serialization_s(wire))
+            self.frames_sent += 1
+            self.bytes_sent += wire
+            self.sim.call_in(spec.propagation_s, self._deliver_to_switch, frame)

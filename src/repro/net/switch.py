@@ -1,0 +1,145 @@
+"""Store-and-forward switch with per-output-port buffering.
+
+The switch is the piece of modern data-center hardware whose behaviour
+motivated the Accelerated Ring protocol: buffering lets several
+participants multicast simultaneously (the overlap the accelerated
+protocol exploits), while finite per-port buffers bound how much overlap
+is safe (the reason the ``Accelerated_window`` must be tuned, Section
+III-C of the paper).
+
+A multicast frame is replicated at the crossbar into every other port's
+output queue; each output queue drains at line rate.  Frames are never
+reordered on a single port; loss happens only on buffer overflow or via
+an injected loss model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict
+
+from .engine import Simulator, Timeout
+from .frames import Frame
+from .links import LinkSpec
+from .loss import LossModel, no_loss
+
+
+class SwitchPort:
+    """One output port: bounded byte queue draining at line rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host_id: int,
+        spec: LinkSpec,
+        deliver: Callable[[Frame], None],
+        loss: LossModel = no_loss,
+    ) -> None:
+        self.sim = sim
+        self.host_id = host_id
+        self.spec = spec
+        self._deliver = deliver
+        self._loss = loss
+        self._queue: Deque[Frame] = deque()
+        self._queued_bytes = 0
+        self._wakeup = sim.signal("port%d.tx" % host_id)
+        self.frames_forwarded = 0
+        self.bytes_forwarded = 0
+        self.drops_overflow = 0
+        self.drops_injected = 0
+        self.max_queue_bytes = 0
+        self._process = sim.spawn(self._tx_loop(), "port%d" % host_id)
+
+    def enqueue(self, frame: Frame) -> None:
+        if self._loss(frame):
+            self.drops_injected += 1
+            return
+        wire = frame.wire_bytes()
+        if self._queued_bytes + wire > self.spec.port_buffer_bytes:
+            self.drops_overflow += 1
+            return
+        self._queue.append(frame)
+        self._queued_bytes += wire
+        if self._queued_bytes > self.max_queue_bytes:
+            self.max_queue_bytes = self._queued_bytes
+        self._wakeup.fire()
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    def _tx_loop(self):
+        spec = self.spec
+        while True:
+            if not self._queue:
+                yield self._wakeup
+                continue
+            frame = self._queue.popleft()
+            wire = frame.wire_bytes()
+            self._queued_bytes -= wire
+            yield Timeout(spec.serialization_s(wire))
+            self.frames_forwarded += 1
+            self.bytes_forwarded += wire
+            self.sim.call_in(spec.propagation_s, self._deliver, frame)
+
+
+class Switch:
+    """The crossbar: receives ingress frames, replicates, enqueues egress."""
+
+    def __init__(self, sim: Simulator, spec: LinkSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self._ports: Dict[int, SwitchPort] = {}
+        self.frames_received = 0
+
+    def attach(
+        self,
+        host_id: int,
+        deliver: Callable[[Frame], None],
+        loss: LossModel = no_loss,
+    ) -> SwitchPort:
+        """Register a host.  ``deliver`` is called when a frame reaches it."""
+        if host_id in self._ports:
+            raise ValueError("host %d already attached" % host_id)
+        port = SwitchPort(self.sim, host_id, self.spec, deliver, loss)
+        self._ports[host_id] = port
+        return port
+
+    def port(self, host_id: int) -> SwitchPort:
+        return self._ports[host_id]
+
+    @property
+    def host_ids(self):
+        return sorted(self._ports)
+
+    def receive(self, frame: Frame) -> None:
+        """Ingress: a frame has fully arrived from a host NIC."""
+        self.frames_received += 1
+        self.sim.call_in(self.spec.switch_latency_s, self._forward, frame)
+
+    def _forward(self, frame: Frame) -> None:
+        if frame.is_multicast:
+            for host_id, port in self._ports.items():
+                if host_id != frame.src:
+                    port.enqueue(frame)
+        else:
+            port = self._ports.get(frame.dst)
+            if port is None:
+                raise ValueError("frame for unknown host %r" % (frame.dst,))
+            port.enqueue(frame)
+
+    # -- diagnostics --------------------------------------------------------
+
+    def total_drops(self) -> int:
+        return sum(p.drops_overflow + p.drops_injected for p in self._ports.values())
+
+    def drop_report(self) -> Dict[int, Dict[str, int]]:
+        return {
+            host_id: {
+                "overflow": port.drops_overflow,
+                "injected": port.drops_injected,
+                "forwarded": port.frames_forwarded,
+                "max_queue_bytes": port.max_queue_bytes,
+            }
+            for host_id, port in self._ports.items()
+        }

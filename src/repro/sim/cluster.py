@@ -1,0 +1,214 @@
+"""A full simulated deployment: N hosts, one switch, rate-driven clients.
+
+This is the benchmark substrate: it reproduces the paper's setup of
+eight servers, each running one daemon, one sending client injecting at
+a fixed rate, and one receiving client receiving everything.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core import ProtocolConfig, Ring, Service, initial_token
+from ..net import (
+    FabricMonitor,
+    LinkSpec,
+    Simulator,
+    Switch,
+    Timeout,
+)
+from ..net.loss import LossModel, no_loss
+from .latency import LatencyRecorder, LatencySummary
+from .node import SimNode
+from .profiles import CostProfile
+
+
+@dataclass
+class SimResult:
+    """Everything a benchmark needs from one simulated run."""
+
+    protocol: str
+    profile: str
+    link: str
+    payload_size: int
+    service: Service
+    offered_bps: float
+    achieved_bps: float
+    latency: LatencySummary
+    #: True when the system could not sustain the offered load.
+    saturated: bool
+    duration_s: float
+    switch_drops: int
+    nic_drops: int
+    socket_drops: int
+    tokens_resent: int
+    retransmissions: int
+    end_backlog: int
+    rounds_per_s: float
+
+    @property
+    def achieved_mbps(self) -> float:
+        return self.achieved_bps / 1e6
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency.mean_s * 1e6
+
+    def row(self) -> str:
+        return "%-12s %-8s %8.0f Mbps -> %8.0f Mbps  lat %8.0f us%s" % (
+            self.protocol, self.profile,
+            self.offered_bps / 1e6, self.achieved_bps / 1e6,
+            self.latency_us, "  SATURATED" if self.saturated else "",
+        )
+
+
+class SimCluster:
+    """Build and run one configuration of the simulated testbed."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        spec: LinkSpec,
+        profile: CostProfile,
+        config: ProtocolConfig,
+        payload_size: int = 1350,
+        service: Service = Service.AGREED,
+        loss: Optional[LossModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.sim = Simulator()
+        self.spec = spec
+        self.profile = profile
+        self.config = config
+        self.payload_size = payload_size
+        self.service = service
+        self.seed = seed
+        self.ring = Ring.of(range(n_nodes))
+        self.switch = Switch(self.sim, spec)
+        self.recorder = LatencyRecorder()
+        self._loss = loss or no_loss
+        self.nodes: Dict[int, SimNode] = {}
+        for pid in self.ring:
+            # Injected loss applies on the shared fabric: wrap each
+            # port's delivery via the switch loss hook.
+            self.nodes[pid] = SimNode(
+                self.sim, pid, self.ring, config, profile, spec,
+                self.switch, self.recorder,
+            )
+        if loss is not None:
+            for pid in self.ring:
+                self.switch.port(pid)._loss = loss
+        self.monitor = FabricMonitor(
+            self.sim, self.switch, [n.nic for n in self.nodes.values()]
+        )
+        self._injectors_started = False
+
+    # -- workload ------------------------------------------------------------
+
+    def inject_at_rate(
+        self,
+        total_rate_bps: float,
+        duration_s: float,
+        jitter: float = 0.05,
+    ) -> None:
+        """Fixed-rate senders: every node injects an equal share.
+
+        ``total_rate_bps`` counts clean payload bits across all senders,
+        matching how the paper reports throughput levels.
+        """
+        if self._injectors_started:
+            raise RuntimeError("injectors already started")
+        self._injectors_started = True
+        n = len(self.ring)
+        per_node_rate = total_rate_bps / n / (self.payload_size * 8.0)
+        if per_node_rate <= 0:
+            return
+        interval = 1.0 / per_node_rate
+        rng = random.Random(self.seed)
+
+        def injector(node: SimNode, start_offset: float):
+            yield Timeout(start_offset)
+            sent = 0
+            while self.sim.now < duration_s:
+                node.submit(None, self.service, self.payload_size)
+                sent += 1
+                yield Timeout(interval * (1.0 + jitter * (rng.random() - 0.5)))
+
+        for index, pid in enumerate(self.ring):
+            offset = interval * index / n
+            self.sim.spawn(injector(self.nodes[pid], offset), "inject%d" % pid)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(
+        self,
+        duration_s: float,
+        warmup_s: float,
+        offered_bps: float = 0.0,
+        max_events: int = 200_000_000,
+    ) -> SimResult:
+        """Start the ring, run for ``duration_s`` simulated seconds."""
+        self.recorder.warmup_until_s = warmup_s
+        leader = self.nodes[self.ring.leader]
+        leader.start_with_token(initial_token(self.ring.ring_id))
+        self.sim.run(until=duration_s, max_events=max_events)
+
+        measure_window = duration_s - warmup_s
+        achieved = self.recorder.min_throughput_bps(measure_window)
+        end_backlog = sum(node.backlog for node in self.nodes.values())
+        # Saturated: a meaningful backlog remains relative to what one
+        # second of offered load represents.
+        offered_msgs_per_s = offered_bps / (self.payload_size * 8.0)
+        saturated = (
+            offered_bps > 0
+            and end_backlog > max(40, 0.05 * offered_msgs_per_s * measure_window)
+        )
+        total_retrans = sum(
+            node.participant.stats.retransmissions_sent
+            for node in self.nodes.values()
+        )
+        rounds = leader.participant.stats.tokens_handled
+        return SimResult(
+            protocol="accelerated" if self.config.is_accelerated else "original",
+            profile=self.profile.name,
+            link=self.spec.name,
+            payload_size=self.payload_size,
+            service=self.service,
+            offered_bps=offered_bps,
+            achieved_bps=achieved,
+            latency=self.recorder.summary(self.service),
+            saturated=saturated,
+            duration_s=duration_s,
+            switch_drops=self.switch.total_drops(),
+            nic_drops=sum(n.nic.drops_overflow for n in self.nodes.values()),
+            socket_drops=sum(n.socket_drops for n in self.nodes.values()),
+            tokens_resent=sum(n.tokens_resent for n in self.nodes.values()),
+            retransmissions=total_retrans,
+            end_backlog=end_backlog,
+            rounds_per_s=rounds / duration_s if duration_s > 0 else 0.0,
+        )
+
+
+def run_point(
+    protocol_config: ProtocolConfig,
+    profile: CostProfile,
+    spec: LinkSpec,
+    offered_bps: float,
+    n_nodes: int = 8,
+    payload_size: int = 1350,
+    service: Service = Service.AGREED,
+    duration_s: float = 0.25,
+    warmup_s: float = 0.08,
+    seed: int = 0,
+    loss: Optional[LossModel] = None,
+) -> SimResult:
+    """One (throughput level, configuration) measurement — the unit every
+    figure in the paper is built from."""
+    cluster = SimCluster(
+        n_nodes, spec, profile, protocol_config,
+        payload_size=payload_size, service=service, seed=seed, loss=loss,
+    )
+    cluster.inject_at_rate(offered_bps, duration_s)
+    return cluster.run(duration_s, warmup_s, offered_bps=offered_bps)

@@ -1,0 +1,209 @@
+"""Membership + ordering on the simulated network.
+
+Runs the full :class:`~repro.membership.EVSProcess` stack (Totem-style
+membership with EVS delivery) over the discrete-event substrate, with
+real simulated time driving the failure-detection and membership
+timeouts.  This is how reconfiguration *latency* — how long a crash or
+partition disrupts the ordering service — becomes measurable.
+
+Control messages (joins, commit tokens, recovery floods) travel on the
+data port, like Totem's; the regular token keeps its own port.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..core import ProtocolConfig, Service
+from ..membership import EVSProcess, MembershipTimeouts, Outgoing, State
+from ..net import Frame, LinkSpec, Nic, Simulator, Switch, Timeout, Traffic
+from .profiles import CostProfile
+
+#: Wire payload markers (what Frame.payload carries).
+_CTRL = "ctrl"
+_DATA = "data"
+#: Approximate serialized size of a membership control message.
+_CTRL_SIZE = 256
+
+
+class SimEVSNode:
+    """One EVSProcess bound to the simulated network."""
+
+    #: How much simulated time one logical membership tick represents.
+    TICK_INTERVAL_S = 0.001
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: int,
+        spec: LinkSpec,
+        profile: CostProfile,
+        switch: Switch,
+        config: Optional[ProtocolConfig] = None,
+        timeouts: Optional[MembershipTimeouts] = None,
+        payload_size: int = 1350,
+    ) -> None:
+        self.sim = sim
+        self.pid = pid
+        self.spec = spec
+        self.profile = profile
+        self.payload_size = payload_size
+        self.process = EVSProcess(pid, config, timeouts)
+        self.nic = Nic(sim, pid, spec, switch.receive)
+        switch.attach(pid, self._on_frame)
+        self._ctrl_queue: Deque[Tuple[Any, int]] = deque()
+        self._token_queue: Deque[Tuple[int, Any, int]] = deque()
+        self._data_queue: Deque[Tuple[int, Any, int]] = deque()
+        self._wakeup = sim.signal("evsnode%d" % pid)
+        self.crashed = False
+        self._cpu = sim.spawn(self._cpu_loop(), "evscpu%d" % pid)
+        self._ticker = sim.spawn(self._tick_loop(), "evstick%d" % pid)
+        self._route(self.process.bootstrap())
+
+    # -- control -----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: the node stops processing and sending forever."""
+        self.crashed = True
+        self._cpu.interrupt()
+        self._ticker.interrupt()
+
+    def submit(self, payload: Any, service: Service = Service.AGREED) -> None:
+        self.process.submit(payload, service, self.payload_size)
+
+    def delivered_payloads(self) -> List[Any]:
+        return [m.payload for m in self.process.delivered_messages()]
+
+    @property
+    def state(self) -> State:
+        return self.process.state
+
+    # -- network glue -----------------------------------------------------------
+
+    def _on_frame(self, frame: Frame) -> None:
+        if self.crashed:
+            return
+        kind = frame.payload[0]
+        if frame.traffic is Traffic.TOKEN:
+            _kind, ring_id, token = frame.payload
+            self._token_queue.append((ring_id, token, frame.src))
+        elif kind == _CTRL:
+            _kind, message = frame.payload
+            self._ctrl_queue.append((message, frame.src))
+        else:
+            _kind, ring_id, message = frame.payload
+            self._data_queue.append((ring_id, message, frame.src))
+        self._wakeup.fire()
+
+    def _route(self, outgoing: List[Outgoing]) -> None:
+        for out in outgoing:
+            if out.kind == "token":
+                ring_id, token = out.payload
+                if out.dst == self.pid:
+                    self._token_queue.append((ring_id, token, self.pid))
+                    self._wakeup.fire()
+                    continue
+                self.nic.send(
+                    Frame(self.pid, out.dst, Traffic.TOKEN,
+                          token.size, (_DATA, ring_id, token))
+                )
+            elif out.kind == "data":
+                ring_id, message = out.payload
+                self.nic.send(
+                    Frame(self.pid, None, Traffic.DATA,
+                          message.payload_size + self.profile.header_bytes,
+                          (_DATA, ring_id, message))
+                )
+            else:
+                frame = Frame(self.pid, out.dst, Traffic.DATA,
+                              _CTRL_SIZE, (_CTRL, out.payload))
+                if out.dst == self.pid:
+                    self._ctrl_queue.append((out.payload, self.pid))
+                    self._wakeup.fire()
+                else:
+                    self.nic.send(frame)
+
+    # -- processes ------------------------------------------------------------------
+
+    def _cpu_loop(self):
+        profile = self.profile
+        while True:
+            if self._ctrl_queue:
+                message, src = self._ctrl_queue.popleft()
+                yield Timeout(profile.recv_token_cpu_s)
+                self._route(self.process.handle_ctrl(message, src))
+                continue
+            token_pending = bool(self._token_queue)
+            data_pending = bool(self._data_queue)
+            if not token_pending and not data_pending:
+                yield self._wakeup
+                continue
+            take_token = token_pending and (
+                self.process.token_has_priority or not data_pending
+            )
+            if take_token:
+                ring_id, token, src = self._token_queue.popleft()
+                yield Timeout(profile.recv_token_cpu_s)
+                self._route(self.process.handle_token(ring_id, token, src))
+            else:
+                ring_id, message, src = self._data_queue.popleft()
+                yield Timeout(profile.data_recv_cost(message.payload_size))
+                self._route(self.process.handle_data(ring_id, message, src))
+
+    def _tick_loop(self):
+        while True:
+            yield Timeout(self.TICK_INTERVAL_S)
+            self._route(self.process.tick())
+
+
+class SimEVSCluster:
+    """N membership-running nodes on one simulated switch."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        spec: LinkSpec,
+        profile: CostProfile,
+        config: Optional[ProtocolConfig] = None,
+        timeouts: Optional[MembershipTimeouts] = None,
+    ) -> None:
+        self.sim = Simulator()
+        self.switch = Switch(self.sim, spec)
+        self.nodes: Dict[int, SimEVSNode] = {
+            pid: SimEVSNode(self.sim, pid, spec, profile, self.switch,
+                            config, timeouts)
+            for pid in range(n_nodes)
+        }
+
+    def run_for(self, seconds: float) -> None:
+        self.sim.run(until=self.sim.now + seconds)
+
+    def live_nodes(self) -> List[SimEVSNode]:
+        return [n for n in self.nodes.values() if not n.crashed]
+
+    def converged(self) -> bool:
+        live = self.live_nodes()
+        if not live:
+            return True
+        expected = tuple(sorted(n.pid for n in live))
+        return all(
+            n.state is State.OPERATIONAL
+            and tuple(n.process.ring.members) == expected
+            for n in live
+        )
+
+    def run_until_converged(self, timeout_s: float = 5.0, step_s: float = 0.01) -> float:
+        """Run until all live nodes share one operational ring.
+
+        Returns the simulated time at convergence.
+        """
+        deadline = self.sim.now + timeout_s
+        while self.sim.now < deadline:
+            self.run_for(step_s)
+            if self.converged():
+                return self.sim.now
+        states = {
+            n.pid: (n.state, n.process.ring.members) for n in self.live_nodes()
+        }
+        raise RuntimeError("no convergence by t=%.3f: %r" % (self.sim.now, states))

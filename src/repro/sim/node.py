@@ -1,0 +1,217 @@
+"""A simulated host: single-threaded CPU driving the protocol engine.
+
+Models what the paper's daemons actually are: one process, one core,
+reading from two UDP sockets (token and data on different ports, Section
+III-D), paying CPU for every receive, send, and delivery.  The
+token/data priority switching is implemented exactly as described: when
+data has high priority the token socket is not read unless no data
+message is available, and vice versa.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from ..core import (
+    DataMessage,
+    Deliver,
+    Discard,
+    Participant,
+    ProtocolConfig,
+    Ring,
+    SendData,
+    SendToken,
+    Service,
+    Token,
+)
+from ..core.packing import PackedPayload
+from ..net import Frame, LinkSpec, Nic, Simulator, Switch, Timeout, Traffic
+from .latency import LatencyRecorder
+from .profiles import CostProfile
+
+
+class SimNode:
+    """One ring participant bound to the simulated network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: int,
+        ring: Ring,
+        config: ProtocolConfig,
+        profile: CostProfile,
+        spec: LinkSpec,
+        switch: Switch,
+        recorder: LatencyRecorder,
+        deliver_callback: Optional[Callable[[int, DataMessage], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.pid = pid
+        self.profile = profile
+        self.spec = spec
+        self.recorder = recorder
+        self.participant = Participant(pid, ring, config)
+        self.nic = Nic(sim, pid, spec, switch.receive)
+        switch.attach(pid, self._on_frame)
+        self._deliver_callback = deliver_callback
+
+        self._token_queue: Deque[Token] = deque()
+        self._data_queue: Deque[Frame] = deque()
+        self._data_queue_bytes = 0
+        self._wakeup = sim.signal("node%d" % pid)
+        self.socket_drops = 0
+        self.tokens_resent = 0
+        self._retransmit_deadline = 0.0
+        self._process = sim.spawn(self._cpu_loop(), "cpu%d" % pid)
+
+    # -- application-facing -------------------------------------------------
+
+    def submit(
+        self,
+        payload: Any,
+        service: Service,
+        payload_size: int,
+    ) -> None:
+        """Inject one application message (timestamped now)."""
+        self.participant.submit(
+            payload, service, payload_size, submitted_at=self.sim.now
+        )
+
+    @property
+    def backlog(self) -> int:
+        return self.participant.backlog
+
+    # -- network-facing -------------------------------------------------------
+
+    def _on_frame(self, frame: Frame) -> None:
+        if frame.traffic is Traffic.TOKEN:
+            # Token socket: tokens are tiny and rare; the buffer holds
+            # any realistic number of them.
+            self._token_queue.append(frame.payload)
+        else:
+            wire = frame.wire_bytes()
+            if self._data_queue_bytes + wire > self.spec.socket_buffer_bytes:
+                self.socket_drops += 1
+                return
+            self._data_queue.append(frame)
+            self._data_queue_bytes += wire
+        self._wakeup.fire()
+
+    def start_with_token(self, token: Token) -> None:
+        """Install the first regular token (membership's hand-off)."""
+        self._token_queue.append(token)
+        self._wakeup.fire()
+
+    # -- the single-threaded daemon loop ----------------------------------------
+
+    def _cpu_loop(self):
+        profile = self.profile
+        participant = self.participant
+        while True:
+            token_pending = bool(self._token_queue)
+            data_pending = bool(self._data_queue)
+            if not token_pending and not data_pending:
+                yield self._wakeup
+                continue
+            take_token = token_pending and (
+                participant.token_has_priority or not data_pending
+            )
+            if take_token:
+                token = self._token_queue.popleft()
+                yield Timeout(profile.recv_token_cpu_s)
+                actions = participant.on_token(token)
+                for pause in self._execute(actions):
+                    yield pause
+            else:
+                frame = self._data_queue.popleft()
+                self._data_queue_bytes -= frame.wire_bytes()
+                message: DataMessage = frame.payload
+                yield Timeout(profile.data_recv_cost(message.payload_size))
+                actions = participant.on_data(message)
+                for pause in self._execute(actions):
+                    yield pause
+
+    def _execute(self, actions):
+        """Run an action list, yielding Timeouts for each CPU charge."""
+        profile = self.profile
+        for action in actions:
+            if isinstance(action, SendData):
+                message = action.message
+                yield Timeout(profile.data_send_cost(message.payload_size))
+                self.nic.send(
+                    Frame(
+                        src=self.pid,
+                        dst=None,
+                        traffic=Traffic.DATA,
+                        size=message.payload_size + profile.header_bytes,
+                        payload=message,
+                    )
+                )
+            elif isinstance(action, SendToken):
+                yield Timeout(profile.send_token_cpu_s)
+                self.nic.send(
+                    Frame(
+                        src=self.pid,
+                        dst=action.dst,
+                        traffic=Traffic.TOKEN,
+                        size=action.token.size,
+                        payload=action.token,
+                    )
+                )
+                self._arm_token_retransmit(action)
+            elif isinstance(action, Deliver):
+                message = action.message
+                yield Timeout(profile.deliver_cost(message.payload_size))
+                payload = message.payload
+                if isinstance(payload, PackedPayload):
+                    # Packed packets: account each application message
+                    # individually (its own submit time and size).
+                    for item in payload.items:
+                        self.recorder.record(
+                            self.pid,
+                            message.service,
+                            item.submitted_at,
+                            self.sim.now,
+                            item.payload_size,
+                        )
+                else:
+                    self.recorder.record(
+                        self.pid,
+                        message.service,
+                        message.submitted_at,
+                        self.sim.now,
+                        message.payload_size,
+                    )
+                if self._deliver_callback is not None:
+                    self._deliver_callback(self.pid, message)
+            elif isinstance(action, Discard):
+                pass  # garbage collection is free compared to the rest
+
+    # -- token-loss recovery --------------------------------------------------
+
+    def _arm_token_retransmit(self, send: SendToken, attempt: int = 0) -> None:
+        timeout = self.participant.config.token_retransmit_timeout_s
+        deadline = self.sim.now + timeout
+        self._retransmit_deadline = deadline
+        self.sim.call_at(deadline, self._maybe_retransmit, send, attempt)
+
+    def _maybe_retransmit(self, send: SendToken, attempt: int) -> None:
+        participant = self.participant
+        if participant.last_token_sent is not send.token:
+            return  # we have handled a newer token since
+        if participant.progress_since_token_send():
+            return
+        if attempt >= participant.config.token_retransmit_limit:
+            return  # membership's problem now (token loss declared)
+        self.tokens_resent += 1
+        self.nic.send(
+            Frame(
+                src=self.pid,
+                dst=send.dst,
+                traffic=Traffic.TOKEN,
+                size=send.token.size,
+                payload=send.token,
+            )
+        )
+        self._arm_token_retransmit(send, attempt + 1)

@@ -1,0 +1,94 @@
+"""Round-level tracing of simulated runs.
+
+Measures the quantity the Accelerated Ring protocol is designed to
+shrink: the token round time.  Attach a tracer to a cluster before
+running; afterwards it reports per-node token inter-handling times,
+rotation rate, and the overlap the acceleration creates (how often a
+node is still multicasting when its successor handles the token —
+visible as post-token sends per round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core import events as ev
+from .cluster import SimCluster
+
+
+@dataclass
+class RoundStats:
+    """Aggregate view of one node's token handlings."""
+
+    count: int
+    mean_round_s: float
+    min_round_s: float
+    max_round_s: float
+
+
+class RoundTracer:
+    """Records token-handling timestamps per node."""
+
+    def __init__(self, cluster: SimCluster) -> None:
+        self.cluster = cluster
+        self.handle_times: Dict[int, List[float]] = {
+            pid: [] for pid in cluster.ring
+        }
+        self.post_token_sends: Dict[int, int] = {pid: 0 for pid in cluster.ring}
+        self.new_messages: Dict[int, int] = {pid: 0 for pid in cluster.ring}
+        for pid, node in cluster.nodes.items():
+            hub = node.participant.hub
+            hub.subscribe(ev.TOKEN_HANDLED, self._make_token_hook(pid))
+            hub.subscribe(ev.MESSAGE_SENT, self._make_send_hook(pid))
+
+    def _make_token_hook(self, node_pid: int):
+        def hook(pid: int, received, sent, new_messages, retransmissions) -> None:
+            if pid != node_pid:
+                return
+            self.handle_times[node_pid].append(self.cluster.sim.now)
+            self.new_messages[node_pid] += new_messages
+
+        return hook
+
+    def _make_send_hook(self, node_pid: int):
+        def hook(pid: int, message) -> None:
+            if pid == node_pid and message.sent_after_token:
+                self.post_token_sends[node_pid] += 1
+
+        return hook
+
+    # -- analysis -----------------------------------------------------------
+
+    def round_times(self, pid: int, skip: int = 2) -> List[float]:
+        """Inter-handling intervals at one node (skipping warm-up)."""
+        times = self.handle_times[pid]
+        return [
+            b - a for a, b in zip(times[skip:], times[skip + 1:])
+        ]
+
+    def stats(self, pid: int, skip: int = 2) -> RoundStats:
+        intervals = self.round_times(pid, skip)
+        if not intervals:
+            return RoundStats(0, 0.0, 0.0, 0.0)
+        return RoundStats(
+            count=len(intervals),
+            mean_round_s=sum(intervals) / len(intervals),
+            min_round_s=min(intervals),
+            max_round_s=max(intervals),
+        )
+
+    def mean_round_s(self, skip: int = 2) -> float:
+        """Mean token round time across all nodes."""
+        means = [
+            self.stats(pid, skip).mean_round_s
+            for pid in self.cluster.ring
+            if self.stats(pid, skip).count > 0
+        ]
+        return sum(means) / len(means) if means else 0.0
+
+    def overlap_fraction(self) -> float:
+        """Share of initiated messages sent after the token."""
+        sent = sum(self.new_messages.values())
+        post = sum(self.post_token_sends.values())
+        return post / sent if sent else 0.0

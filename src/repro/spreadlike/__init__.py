@@ -1,0 +1,31 @@
+"""A Spread-like group-communication layer on top of the ordering core.
+
+Reproduces the architecture the paper's production implementation lives
+in: client-daemon separation, named groups, open-group semantics
+(senders need not be members), multi-group multicast with ordering
+across groups, and membership notices ordered with data.
+"""
+
+from .client import SpreadClient
+from .cluster import SpreadCluster
+from .daemon import SpreadDaemon
+from .dynamic import DynamicSpreadCluster, DynamicSpreadDaemon
+from .groups import GroupTable
+from .protocol import (
+    ClientId,
+    GroupCast,
+    GroupJoin,
+    GroupLeave,
+    GroupMessage,
+    MembershipNotice,
+    PrivateCast,
+    PrivateMessage,
+    SpreadError,
+)
+
+__all__ = [
+    "SpreadCluster", "SpreadDaemon", "SpreadClient", "GroupTable",
+    "DynamicSpreadCluster", "DynamicSpreadDaemon",
+    "ClientId", "GroupMessage", "MembershipNotice", "SpreadError",
+    "GroupJoin", "GroupLeave", "GroupCast", "PrivateCast", "PrivateMessage",
+]

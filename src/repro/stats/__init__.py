@@ -1,0 +1,5 @@
+"""Measurement containers and report helpers."""
+
+from .series import Figure, Series, SeriesPoint, improvement
+
+__all__ = ["Figure", "Series", "SeriesPoint", "improvement"]

@@ -1,0 +1,223 @@
+"""An independent reference implementation of the original Ring protocol.
+
+This is a deliberately separate, straightforward transcription of the
+Totem single-ring ordering protocol (Amir et al., ICDCS 1993 / TOCS
+1995) — the baseline the paper compares against.  It shares **no code**
+with :mod:`repro.core`, so differential tests can drive both over the
+same workload and loss pattern and require identical delivery sequences
+when the core is configured as the original protocol
+(``ProtocolConfig.original_ring()``).
+
+It is also the baseline's executable specification: every behaviour here
+(send everything before the token, request gaps up to the current token's
+seq, aru lower/raise rules, two-round Safe stability) is the classic
+protocol, unencumbered by acceleration bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class RefMessage:
+    """A data message in the reference protocol."""
+
+    seq: int
+    pid: int
+    safe: bool
+    payload: Any
+
+
+@dataclass(frozen=True)
+class RefToken:
+    seq: int
+    aru: int
+    aru_id: Optional[int]
+    fcc: int
+    rtr: Tuple[int, ...]
+
+
+class _RefParticipant:
+    """Original-ring participant: multicast everything, then the token."""
+
+    def __init__(self, pid: int, personal_window: int, global_window: int) -> None:
+        self.pid = pid
+        self.personal_window = personal_window
+        self.global_window = global_window
+        self.pending: Deque[Tuple[Any, bool]] = deque()
+        self.buffer: Dict[int, RefMessage] = {}
+        self.local_aru = 0
+        self.delivered_upto = 0
+        self.safe_bound = 0
+        self.delivered: List[RefMessage] = []
+        self._sent_last_round = 0
+        self._aru_history: List[int] = []
+
+    # -- token handling (original protocol order) -----------------------
+
+    def on_token(self, token: RefToken) -> Tuple[List[RefMessage], RefToken]:
+        sends: List[RefMessage] = []
+        # Retransmissions first.
+        remaining = []
+        for seq in token.rtr:
+            message = self.buffer.get(seq)
+            if message is not None:
+                sends.append(message)
+            elif seq > self.delivered_upto or seq > self.safe_bound:
+                remaining.append(seq)
+        num_retrans = len(sends)
+        # All new messages are multicast before the token is passed.
+        budget = min(
+            len(self.pending),
+            self.personal_window,
+            max(0, self.global_window - token.fcc - num_retrans),
+        )
+        seq = token.seq
+        for _i in range(budget):
+            payload, safe = self.pending.popleft()
+            seq += 1
+            message = RefMessage(seq, self.pid, safe, payload)
+            self._store(message)
+            sends.append(message)
+        # Request every gap up to the received token's seq (all of those
+        # messages were multicast before this token was sent).
+        missing = [
+            s for s in range(self.local_aru + 1, token.seq + 1)
+            if s not in self.buffer and s > self.safe_bound
+        ]
+        # aru rules.
+        if self.local_aru < token.aru:
+            aru, aru_id = self.local_aru, self.pid
+        elif token.aru_id == self.pid:
+            aru = self.local_aru
+            aru_id = self.pid if self.local_aru < seq else None
+        elif token.aru_id is None and token.aru == token.seq:
+            aru, aru_id = self.local_aru, None
+        else:
+            aru, aru_id = token.aru, token.aru_id
+        fcc = token.fcc - self._sent_last_round + num_retrans + budget
+        self._sent_last_round = num_retrans + budget
+        out = RefToken(
+            seq=seq,
+            aru=aru,
+            aru_id=aru_id,
+            fcc=fcc,
+            rtr=tuple(sorted(set(remaining) | set(missing))),
+        )
+        # Safe stability: min of the aru on our last two sent tokens.
+        self._aru_history.append(aru)
+        if len(self._aru_history) >= 2:
+            bound = min(self._aru_history[-1], self._aru_history[-2])
+            if bound > self.safe_bound:
+                self.safe_bound = bound
+        self._try_deliver()
+        return sends, out
+
+    def on_data(self, message: RefMessage) -> None:
+        self._store(message)
+        self._try_deliver()
+
+    def _store(self, message: RefMessage) -> None:
+        if message.seq in self.buffer or message.seq <= self.delivered_upto:
+            return
+        self.buffer[message.seq] = message
+        while self.local_aru + 1 in self.buffer:
+            self.local_aru += 1
+
+    def _try_deliver(self) -> None:
+        while True:
+            message = self.buffer.get(self.delivered_upto + 1)
+            if message is None:
+                break
+            if message.safe and message.seq > self.safe_bound:
+                break
+            self.delivered.append(message)
+            self.delivered_upto = message.seq
+        # Garbage-collect stable messages.
+        floor = min(self.safe_bound, self.delivered_upto)
+        for s in list(self.buffer):
+            if s <= floor:
+                del self.buffer[s]
+
+
+class ReferenceRing:
+    """Mini-driver running the reference protocol to quiescence.
+
+    The network is instantaneous and per-link FIFO, like
+    :class:`repro.harness.LoopbackRing`; messages sent before the token
+    are processed before it, exactly as the original protocol assumes.
+    ``drop_data(seq, dst)`` injects deterministic loss keyed on sequence
+    number so the same pattern can be replayed against the core engine.
+    """
+
+    def __init__(
+        self,
+        pids: Sequence[int],
+        personal_window: int = 40,
+        global_window: int = 240,
+        drop_data: Optional[Callable[[int, int], bool]] = None,
+    ) -> None:
+        if not pids:
+            raise ValueError("need at least one participant")
+        self.pids = list(pids)
+        self.participants = {
+            pid: _RefParticipant(pid, personal_window, global_window)
+            for pid in self.pids
+        }
+        self._drop_data = drop_data
+        self._inbox: Dict[int, Deque[RefMessage]] = {p: deque() for p in self.pids}
+        self.rounds = 0
+
+    def submit(self, pid: int, payload: Any, safe: bool = False) -> None:
+        self.participants[pid].pending.append((payload, safe))
+
+    def _quiesced(self) -> bool:
+        return all(
+            not p.pending and not self._inbox[pid]
+            for pid, p in self.participants.items()
+        )
+
+    def run(self, extra_rounds: int = 3, max_rounds: int = 100_000) -> None:
+        """Rotate the token until quiescent, plus aru/Safe cleanup rounds."""
+        token = RefToken(seq=0, aru=0, aru_id=None, fcc=0, rtr=())
+        idle = 0
+        for _round in range(max_rounds):
+            for pid in self.pids:
+                participant = self.participants[pid]
+                # Original protocol: all pending data processed first.
+                inbox = self._inbox[pid]
+                while inbox:
+                    participant.on_data(inbox.popleft())
+                sends, token = participant.on_token(token)
+                for message in sends:
+                    self._multicast(message, source=pid)
+            self.rounds += 1
+            if self._quiesced():
+                idle += 1
+                if idle > extra_rounds:
+                    # Final data drain so late arrivals are processed.
+                    for pid in self.pids:
+                        inbox = self._inbox[pid]
+                        while inbox:
+                            self.participants[pid].on_data(inbox.popleft())
+                    return
+            else:
+                idle = 0
+        raise RuntimeError("reference ring did not quiesce in %d rounds" % max_rounds)
+
+    def _multicast(self, message: RefMessage, source: int) -> None:
+        for pid in self.pids:
+            if pid == source:
+                continue
+            if self._drop_data is not None and self._drop_data(message.seq, pid):
+                continue
+            self._inbox[pid].append(message)
+
+    def delivered_payloads(self, pid: int) -> List[Any]:
+        return [m.payload for m in self.participants[pid].delivered]
+
+    def delivered_seqs(self, pid: int) -> List[int]:
+        return [m.seq for m in self.participants[pid].delivered]

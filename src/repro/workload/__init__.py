@@ -1,0 +1,17 @@
+"""Workload generation for tests, examples, and benchmarks."""
+
+from .generator import (
+    Submission,
+    bursty_plan,
+    group_activity_plan,
+    mixed_service_plan,
+    sized_payload,
+    skewed_senders_plan,
+    uniform_plan,
+)
+
+__all__ = [
+    "Submission", "sized_payload",
+    "uniform_plan", "mixed_service_plan", "bursty_plan",
+    "skewed_senders_plan", "group_activity_plan",
+]

@@ -1,0 +1,133 @@
+"""Workload generation: payloads and submission plans.
+
+Everything is seeded and deterministic so any failing run can be
+replayed exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Sequence, Tuple
+
+from ..core import Service
+
+
+def sized_payload(size: int, tag: int = 0) -> bytes:
+    """A payload of exactly ``size`` bytes with a recognizable prefix."""
+    prefix = ("msg-%d-" % tag).encode()
+    if size <= len(prefix):
+        return prefix[:size]
+    return prefix + b"x" * (size - len(prefix))
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One planned application submit."""
+
+    pid: int
+    payload: Any
+    service: Service
+    payload_size: int = 0
+
+
+def uniform_plan(
+    pids: Sequence[int],
+    per_pid: int,
+    service: Service = Service.AGREED,
+    payload_size: int = 0,
+) -> List[Submission]:
+    """Every sender submits the same count, round-robin interleaved."""
+    plan: List[Submission] = []
+    for index in range(per_pid):
+        for pid in pids:
+            plan.append(
+                Submission(pid, ("u", pid, index), service, payload_size)
+            )
+    return plan
+
+
+def mixed_service_plan(
+    pids: Sequence[int],
+    per_pid: int,
+    safe_fraction: float,
+    seed: int = 0,
+    payload_size: int = 0,
+) -> List[Submission]:
+    """Random AGREED/SAFE mix, reproducible by seed."""
+    rng = random.Random(seed)
+    plan: List[Submission] = []
+    for pid in pids:
+        for index in range(per_pid):
+            service = Service.SAFE if rng.random() < safe_fraction else Service.AGREED
+            plan.append(
+                Submission(pid, ("m", pid, index), service, payload_size)
+            )
+    rng.shuffle(plan)
+    return plan
+
+
+def bursty_plan(
+    pids: Sequence[int],
+    bursts: int,
+    burst_size: int,
+    seed: int = 0,
+    service: Service = Service.AGREED,
+) -> List[Submission]:
+    """One sender at a time emits a burst — the worst case for
+    token-based flow control fairness."""
+    rng = random.Random(seed)
+    plan: List[Submission] = []
+    for burst in range(bursts):
+        pid = rng.choice(list(pids))
+        for index in range(burst_size):
+            plan.append(Submission(pid, ("b", pid, burst, index), service))
+    return plan
+
+
+def skewed_senders_plan(
+    pids: Sequence[int],
+    total: int,
+    hot_fraction: float = 0.8,
+    seed: int = 0,
+) -> List[Submission]:
+    """One hot sender produces ``hot_fraction`` of all traffic."""
+    rng = random.Random(seed)
+    hot = pids[0]
+    plan: List[Submission] = []
+    for index in range(total):
+        if rng.random() < hot_fraction:
+            pid = hot
+        else:
+            pid = rng.choice(list(pids[1:])) if len(pids) > 1 else hot
+        plan.append(Submission(pid, ("s", pid, index), Service.AGREED))
+    return plan
+
+
+def group_activity_plan(
+    clients: Sequence[str],
+    groups: Sequence[str],
+    operations: int,
+    seed: int = 0,
+) -> Iterator[Tuple[str, str, str, Any]]:
+    """A stream of spread-layer ops: (op, client, group, payload).
+
+    op is one of join / leave / cast; weights make casts dominate.
+    Useful for exercising the Spread-like layer in tests and examples.
+    """
+    rng = random.Random(seed)
+    joined = {client: set() for client in clients}
+    for index in range(operations):
+        client = rng.choice(list(clients))
+        roll = rng.random()
+        if roll < 0.15 or not joined[client]:
+            group = rng.choice(list(groups))
+            joined[client].add(group)
+            yield ("join", client, group, None)
+        elif roll < 0.25 and joined[client]:
+            group = rng.choice(sorted(joined[client]))
+            joined[client].discard(group)
+            yield ("leave", client, group, None)
+        else:
+            group = rng.choice(sorted(joined[client]))
+            yield ("cast", client, group, ("payload", index))

@@ -1,0 +1,144 @@
+"""Tests for the bench harness plumbing and the CLI."""
+
+import os
+
+import pytest
+
+from repro.bench import (
+    REGISTRY,
+    headline,
+    register,
+    render_all,
+    reset,
+    run_sweep,
+    series_label,
+    simultaneous_improvement,
+    throughput_gain_at_latency,
+    tuned_configs,
+)
+from repro.bench.experiments import SweepSpec
+from repro.bench.runner import persist_figure
+from repro.cli import main as cli_main
+from repro.core import Service
+from repro.net import GIGABIT, TEN_GIGABIT
+from repro.sim import LIBRARY
+from repro.stats import Figure, Series, SeriesPoint
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset()
+    yield
+    reset()
+
+
+def tiny_spec(**overrides):
+    fields = dict(
+        figure_id="tiny",
+        title="tiny sweep",
+        link=GIGABIT,
+        service=Service.AGREED,
+        payload_size=1350,
+        profiles=(LIBRARY,),
+        protocols=("accelerated",),
+        offered_mbps=(100.0,),
+        n_nodes=3,
+        duration_s=0.02,
+        warmup_s=0.005,
+    )
+    fields.update(overrides)
+    return SweepSpec(**fields)
+
+
+def test_tuned_configs_differ_by_link():
+    one_g = tuned_configs(GIGABIT)
+    ten_g = tuned_configs(TEN_GIGABIT)
+    assert one_g["original"].accelerated_window == 0
+    assert one_g["accelerated"].is_accelerated
+    assert ten_g["accelerated"].personal_window > one_g["accelerated"].personal_window
+
+
+def test_series_label_format():
+    assert series_label("spread", "original") == "spread/original"
+
+
+def test_run_sweep_produces_points():
+    figure = run_sweep(tiny_spec())
+    assert set(figure.labels()) == {"library/accelerated"}
+    points = figure.series["library/accelerated"].points
+    assert len(points) == 1
+    assert points[0].offered_mbps == 100.0
+    assert points[0].achieved_mbps > 50
+
+
+def test_run_sweep_progress_hook():
+    seen = []
+    run_sweep(tiny_spec(), progress=seen.append)
+    assert len(seen) == 1
+    assert "tiny" in seen[0]
+
+
+def test_persist_figure_writes_files(tmp_path):
+    figure = run_sweep(tiny_spec(figure_id="tiny2"))
+    md_path = persist_figure(figure, directory=str(tmp_path))
+    assert os.path.exists(md_path)
+    assert os.path.exists(str(tmp_path / "tiny2.csv"))
+    content = open(md_path).read()
+    assert "tiny2" in content
+
+
+def test_register_and_render_all():
+    figure = Figure("figZ", "registered")
+    figure.series_for("a").add(SeriesPoint(10, 10, 5, False))
+    register(figure)
+    headline("* one headline")
+    rendered = render_all()
+    assert "figZ" in rendered
+    assert "one headline" in rendered
+    assert "figZ" in REGISTRY
+
+
+def test_simultaneous_improvement_math():
+    orig = Series("o")
+    accel = Series("a")
+    orig.add(SeriesPoint(500, 500, 1000, False))
+    accel.add(SeriesPoint(500, 500, 400, False))
+    gain = simultaneous_improvement(orig, accel, 500)
+    assert gain is not None
+    latency_gain, ratio = gain
+    assert latency_gain == pytest.approx(0.6)
+    assert ratio == pytest.approx(1.0)
+
+
+def test_simultaneous_improvement_requires_stable_points():
+    orig = Series("o")
+    accel = Series("a")
+    orig.add(SeriesPoint(500, 300, 1000, True))
+    accel.add(SeriesPoint(500, 500, 400, False))
+    assert simultaneous_improvement(orig, accel, 500) is None
+
+
+def test_throughput_gain_at_latency():
+    orig = Series("o")
+    accel = Series("a")
+    for offered, latency in ((100, 100), (500, 800), (800, 5000)):
+        orig.add(SeriesPoint(offered, offered, latency, False))
+    for offered, latency in ((100, 80), (500, 200), (800, 600)):
+        accel.add(SeriesPoint(offered, offered, latency, False))
+    assert throughput_gain_at_latency(orig, accel, 1000) == pytest.approx(800 / 500)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_list(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    for figure_id in ("fig1", "fig4", "fig7"):
+        assert figure_id in out
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(SystemExit):
+        cli_main(["nonsense", "--quiet"])

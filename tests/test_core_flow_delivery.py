@@ -1,0 +1,151 @@
+"""Tests for flow-control arithmetic and the delivery engine."""
+
+import pytest
+
+from repro.core import DeliveryEngine, ProtocolConfig, ReceiveBuffer, Service, Token
+from repro.core.flow_control import new_message_budget, updated_fcc
+from repro.core.messages import DataMessage
+
+
+def msg(seq, safe=False, pid=1):
+    return DataMessage(
+        seq=seq, pid=pid, round=1,
+        service=Service.SAFE if safe else Service.AGREED,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Flow control (Section III-A-1 formula)
+# ---------------------------------------------------------------------------
+
+def config(**kw):
+    defaults = dict(personal_window=10, global_window=30, max_seq_gap=100)
+    defaults.update(kw)
+    return ProtocolConfig(**defaults)
+
+
+def test_backlog_limits_budget():
+    decision = new_message_budget(config(), Token(), backlog=3, num_retransmissions=0)
+    assert decision.allowed_new == 3
+    assert decision.limited_by_backlog
+
+
+def test_personal_window_limits_budget():
+    decision = new_message_budget(config(), Token(), backlog=50, num_retransmissions=0)
+    assert decision.allowed_new == 10
+    assert decision.limited_by_personal_window
+
+
+def test_global_window_subtracts_fcc_and_retransmissions():
+    token = Token(fcc=25)
+    decision = new_message_budget(config(), token, backlog=50, num_retransmissions=2)
+    # 30 - 25 - 2 = 3
+    assert decision.allowed_new == 3
+    assert decision.limited_by_global_window
+
+
+def test_budget_never_negative():
+    token = Token(fcc=100)
+    decision = new_message_budget(config(), token, backlog=50, num_retransmissions=0)
+    assert decision.allowed_new == 0
+
+
+def test_seq_gap_limits_budget():
+    # seq is far ahead of the global aru: only the remaining gap is allowed.
+    token = Token(seq=95, aru=0)
+    decision = new_message_budget(
+        config(max_seq_gap=100), token, backlog=50, num_retransmissions=0
+    )
+    assert decision.allowed_new == 5
+    assert decision.limited_by_seq_gap
+
+
+def test_updated_fcc_swaps_contribution():
+    token = Token(fcc=12)
+    assert updated_fcc(token, sent_last_round=5, sending_this_round=8) == 15
+    assert updated_fcc(token, sent_last_round=12, sending_this_round=0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Delivery engine (Sections III-A-4, III-B)
+# ---------------------------------------------------------------------------
+
+def test_agreed_delivered_when_contiguous():
+    engine = DeliveryEngine()
+    buffer = ReceiveBuffer()
+    for seq in (1, 2, 3):
+        buffer.insert(msg(seq))
+    delivered = engine.collect_deliverable(buffer)
+    assert [m.seq for m in delivered] == [1, 2, 3]
+    assert engine.delivered_upto == 3
+
+
+def test_gap_stops_delivery():
+    engine = DeliveryEngine()
+    buffer = ReceiveBuffer()
+    buffer.insert(msg(1))
+    buffer.insert(msg(3))
+    assert [m.seq for m in engine.collect_deliverable(buffer)] == [1]
+    buffer.insert(msg(2))
+    assert [m.seq for m in engine.collect_deliverable(buffer)] == [2, 3]
+
+
+def test_safe_waits_for_stability_bound():
+    engine = DeliveryEngine()
+    buffer = ReceiveBuffer()
+    buffer.insert(msg(1, safe=True))
+    assert engine.collect_deliverable(buffer) == []
+    engine.note_token_sent(1)
+    assert engine.collect_deliverable(buffer) == []  # only one round so far
+    engine.note_token_sent(1)
+    assert [m.seq for m in engine.collect_deliverable(buffer)] == [1]
+
+
+def test_safe_bound_is_min_of_last_two_arus():
+    engine = DeliveryEngine()
+    engine.note_token_sent(5)
+    engine.note_token_sent(9)
+    assert engine.safe_bound == 5
+    engine.note_token_sent(7)
+    assert engine.safe_bound == 7
+
+
+def test_safe_bound_is_monotone():
+    engine = DeliveryEngine()
+    engine.note_token_sent(5)
+    engine.note_token_sent(9)
+    assert engine.safe_bound == 5
+    engine.note_token_sent(2)  # a lowered aru cannot retract the bound
+    assert engine.safe_bound == 5
+
+
+def test_undelivered_safe_blocks_later_agreed():
+    engine = DeliveryEngine()
+    buffer = ReceiveBuffer()
+    buffer.insert(msg(1, safe=True))
+    buffer.insert(msg(2, safe=False))
+    assert engine.collect_deliverable(buffer) == []
+    engine.note_token_sent(2)
+    engine.note_token_sent(2)
+    assert [m.seq for m in engine.collect_deliverable(buffer)] == [1, 2]
+
+
+def test_discardable_requires_delivery_and_stability():
+    engine = DeliveryEngine()
+    buffer = ReceiveBuffer()
+    buffer.insert(msg(1))
+    buffer.insert(msg(2))
+    engine.collect_deliverable(buffer)
+    assert engine.discardable_upto() == 0  # delivered but not stable
+    engine.note_token_sent(2)
+    engine.note_token_sent(2)
+    assert engine.discardable_upto() == 2
+
+
+def test_total_delivered_counter():
+    engine = DeliveryEngine()
+    buffer = ReceiveBuffer()
+    for seq in range(1, 6):
+        buffer.insert(msg(seq))
+    engine.collect_deliverable(buffer)
+    assert engine.total_delivered == 5

@@ -1,0 +1,163 @@
+"""Tests for retransmission bookkeeping and priority switching."""
+
+from repro.core import PriorityMethod, ReceiveBuffer, Service, Token
+from repro.core.messages import DataMessage
+from repro.core.priority import PriorityTracker
+from repro.core.retransmit import RetransmitTracker
+
+
+def msg(seq=1, pid=2, round=1, post=False):
+    message = DataMessage(seq=seq, pid=pid, round=round, service=Service.AGREED)
+    return message.as_post_token() if post else message
+
+
+# ---------------------------------------------------------------------------
+# RetransmitTracker: the previous-round horizon rule
+# ---------------------------------------------------------------------------
+
+def test_no_requests_before_horizon_advances():
+    tracker = RetransmitTracker()
+    buffer = ReceiveBuffer()
+    # Token says seq=10 but the horizon is still 0: nothing is requested
+    # even though we have received nothing — those messages may simply
+    # not have been sent yet (the accelerated protocol's key subtlety).
+    assert tracker.my_new_requests(buffer) == []
+    tracker.advance_horizon(10)
+    assert tracker.my_new_requests(buffer) == list(range(1, 11))
+
+
+def test_horizon_never_regresses():
+    tracker = RetransmitTracker()
+    tracker.advance_horizon(10)
+    tracker.advance_horizon(5)
+    assert tracker.request_horizon == 10
+
+
+def test_requests_limited_to_actual_gaps():
+    tracker = RetransmitTracker()
+    buffer = ReceiveBuffer()
+    for seq in (1, 2, 4):
+        buffer.insert(msg(seq=seq))
+    tracker.advance_horizon(5)
+    assert tracker.my_new_requests(buffer) == [3, 5]
+
+
+def test_answer_requests_splits_answerable():
+    tracker = RetransmitTracker()
+    buffer = ReceiveBuffer()
+    buffer.insert(msg(seq=1))
+    buffer.insert(msg(seq=2))
+    token = Token(rtr=(1, 3))
+    answered, remaining = tracker.answer_requests(token, buffer)
+    assert [m.seq for m in answered] == [1]
+    assert remaining == [3]
+
+
+def test_stale_requests_for_stable_messages_dropped():
+    tracker = RetransmitTracker()
+    buffer = ReceiveBuffer()
+    for seq in (1, 2, 3):
+        buffer.insert(msg(seq=seq))
+    buffer.discard_upto(2)
+    token = Token(rtr=(1, 2))
+    answered, remaining = tracker.answer_requests(token, buffer)
+    assert answered == [] and remaining == []
+
+
+def test_merge_requests_dedupes_and_sorts():
+    tracker = RetransmitTracker()
+    assert tracker.merge_requests([5, 3], [3, 1]) == (1, 3, 5)
+
+
+# ---------------------------------------------------------------------------
+# PriorityTracker: Methods 1 and 2 (Section III-C)
+# ---------------------------------------------------------------------------
+
+def make_tracker(method, ring_size=4, predecessor=2, ring_index=0):
+    return PriorityTracker(method, ring_size, predecessor, ring_index)
+
+
+def test_data_starts_with_priority():
+    # Messages multicast before our first token must be processed
+    # before it, exactly as in steady state.
+    tracker = make_tracker(PriorityMethod.AGGRESSIVE)
+    assert not tracker.token_has_priority
+
+
+def test_first_round_trigger_uses_ring_position():
+    # Participant at index 2 on a 4-ring: its first token is hop 3, so
+    # the predecessor handling preceding it is hop 2 — predecessor data
+    # of round 2 must already trigger method 1.
+    tracker = make_tracker(PriorityMethod.AGGRESSIVE, ring_size=4,
+                           predecessor=2, ring_index=2)
+    tracker.note_data_processed(msg(pid=2, round=1))
+    assert not tracker.token_has_priority
+    tracker.note_data_processed(msg(pid=2, round=2))
+    assert tracker.token_has_priority
+
+
+def test_data_high_after_token_handled():
+    tracker = make_tracker(PriorityMethod.AGGRESSIVE)
+    tracker.note_token_handled(hop=5)
+    assert not tracker.token_has_priority
+
+
+def test_method1_raises_on_any_next_round_predecessor_data():
+    tracker = make_tracker(PriorityMethod.AGGRESSIVE, ring_size=4, predecessor=2)
+    tracker.note_token_handled(hop=5)
+    # Predecessor's next handling is hop 5 + 4 - 1 = 8.
+    tracker.note_data_processed(msg(pid=2, round=8, post=False))
+    assert tracker.token_has_priority
+
+
+def test_method1_ignores_old_round_data():
+    tracker = make_tracker(PriorityMethod.AGGRESSIVE, ring_size=4, predecessor=2)
+    tracker.note_token_handled(hop=5)
+    tracker.note_data_processed(msg(pid=2, round=7))  # previous handling
+    assert not tracker.token_has_priority
+
+
+def test_method1_ignores_non_predecessor():
+    tracker = make_tracker(PriorityMethod.AGGRESSIVE, ring_size=4, predecessor=2)
+    tracker.note_token_handled(hop=5)
+    tracker.note_data_processed(msg(pid=3, round=8))
+    assert not tracker.token_has_priority
+
+
+def test_method2_needs_post_token_data():
+    tracker = make_tracker(PriorityMethod.CONSERVATIVE, ring_size=4, predecessor=2)
+    tracker.note_token_handled(hop=5)
+    tracker.note_data_processed(msg(pid=2, round=8, post=False))
+    assert not tracker.token_has_priority
+    tracker.note_data_processed(msg(pid=2, round=8, post=True))
+    assert tracker.token_has_priority
+
+
+def test_method2_with_zero_window_never_raises_mid_stream():
+    # With accelerated window 0 nothing is ever sent post-token, so the
+    # trigger never fires — the token is only processed when no data is
+    # pending, which is the original Ring protocol.
+    tracker = make_tracker(PriorityMethod.CONSERVATIVE, ring_size=4, predecessor=2)
+    tracker.note_token_handled(hop=5)
+    for round_ in (8, 9, 12):
+        tracker.note_data_processed(msg(pid=2, round=round_, post=False))
+    assert not tracker.token_has_priority
+
+
+def test_later_round_also_triggers():
+    # If we missed a whole rotation, newer rounds must still trigger.
+    tracker = make_tracker(PriorityMethod.AGGRESSIVE, ring_size=4, predecessor=2)
+    tracker.note_token_handled(hop=5)
+    tracker.note_data_processed(msg(pid=2, round=12))
+    assert tracker.token_has_priority
+
+
+def test_reset_restores_initial_state():
+    tracker = make_tracker(PriorityMethod.CONSERVATIVE, ring_size=4,
+                           predecessor=2, ring_index=1)
+    tracker.note_token_handled(hop=9)
+    tracker.reset()
+    assert not tracker.token_has_priority
+    # The round-one trigger works again after reset.
+    tracker.note_data_processed(msg(pid=2, round=1, post=True))
+    assert tracker.token_has_priority

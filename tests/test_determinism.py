@@ -1,0 +1,95 @@
+"""Reproducibility: every simulated measurement replays bit-for-bit."""
+
+import pytest
+
+from repro.bench import tuned_configs
+from repro.bench.experiments import SweepSpec, full_mode, make_fig1
+from repro.cli import main as cli_main
+from repro.core import ProtocolConfig, Service
+from repro.net import GIGABIT, BernoulliLoss
+from repro.sim import LIBRARY, SPREAD, run_point
+
+
+def point(seed=0, loss_seed=None):
+    loss = BernoulliLoss(0.01, seed=loss_seed, spare_token=True) \
+        if loss_seed is not None else None
+    return run_point(
+        ProtocolConfig.accelerated(personal_window=15, accelerated_window=10),
+        SPREAD, GIGABIT, 400e6,
+        duration_s=0.05, warmup_s=0.015, n_nodes=4, seed=seed, loss=loss,
+    )
+
+
+def test_identical_seeds_identical_results():
+    a = point(seed=3)
+    b = point(seed=3)
+    assert a.achieved_bps == b.achieved_bps
+    assert a.latency.mean_s == b.latency.mean_s
+    assert a.latency.p99_s == b.latency.p99_s
+    assert a.rounds_per_s == b.rounds_per_s
+
+
+def test_different_seeds_differ_slightly():
+    a = point(seed=3)
+    b = point(seed=4)
+    # Jitter differs, so exact equality would be suspicious...
+    assert a.latency.mean_s != b.latency.mean_s
+    # ...but the measurement is stable.
+    assert a.latency.mean_s == pytest.approx(b.latency.mean_s, rel=0.2)
+
+
+def test_lossy_runs_replay_exactly():
+    a = point(seed=5, loss_seed=9)
+    b = point(seed=5, loss_seed=9)
+    assert a.retransmissions == b.retransmissions
+    assert a.achieved_bps == b.achieved_bps
+    assert a.latency.max_s == b.latency.max_s
+
+
+def test_full_mode_env_toggles_density(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+    quick = make_fig1()
+    assert not full_mode()
+    monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+    assert full_mode()
+    full = make_fig1()
+    assert len(full.offered_mbps) > len(quick.offered_mbps)
+    assert full.duration_s > quick.duration_s
+
+
+def test_cli_fig4_multi_spec_path(monkeypatch, capsys, tmp_path):
+    import repro.cli as cli
+
+    def tiny(figure_id):
+        return SweepSpec(
+            figure_id=figure_id, title="tiny", link=GIGABIT,
+            service=Service.AGREED, payload_size=1350,
+            profiles=(LIBRARY,), protocols=("accelerated",),
+            offered_mbps=(100.0,), n_nodes=2,
+            duration_s=0.02, warmup_s=0.005,
+        )
+
+    monkeypatch.setattr(cli, "make_fig4", lambda: (tiny("t4a"), tiny("t4b")))
+    monkeypatch.setattr("repro.bench.runner.RESULTS_DIR", str(tmp_path))
+    assert cli_main(["fig4", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "t4a" in out and "t4b" in out
+
+
+def test_cli_runs_injected_tiny_figure(monkeypatch, capsys, tmp_path):
+    import repro.cli as cli
+
+    tiny = SweepSpec(
+        figure_id="tinyfig", title="tiny", link=GIGABIT,
+        service=Service.AGREED, payload_size=1350,
+        profiles=(LIBRARY,), protocols=("accelerated",),
+        offered_mbps=(100.0,), n_nodes=2,
+        duration_s=0.02, warmup_s=0.005,
+    )
+    monkeypatch.setitem(cli.ALL_FIGURES, "tinyfig", lambda: tiny)
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+    monkeypatch.setattr("repro.bench.runner.RESULTS_DIR", str(tmp_path))
+    assert cli_main(["tinyfig", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "tinyfig" in out
+    assert "library/accelerated" in out

@@ -1,0 +1,91 @@
+"""Unit tests for the UDP transport (no protocol, just datagrams)."""
+
+import pytest
+
+from repro.core import Service, Token
+from repro.core.messages import DataMessage
+from repro.emulation import PortPair, UdpTransport
+
+
+@pytest.fixture
+def pair():
+    a = UdpTransport(0)
+    b = UdpTransport(1)
+    peers = {0: a.ports, 1: b.ports}
+    a.set_peers(peers)
+    b.set_peers(peers)
+    yield a, b
+    a.close()
+    b.close()
+
+
+def drain(transport, timeout=0.5):
+    import time
+
+    deadline = time.monotonic() + timeout
+    data, tokens = [], []
+    while time.monotonic() < deadline:
+        d, t = transport.poll(0.01)
+        data.extend(d)
+        tokens.extend(t)
+        if data or tokens:
+            break
+    return data, tokens
+
+
+def test_ports_allocated_distinct(pair):
+    a, b = pair
+    assert a.ports.data_port != a.ports.token_port
+    assert a.ports.data_port != b.ports.data_port
+
+
+def test_data_fanout_reaches_peer_not_self(pair):
+    a, b = pair
+    message = DataMessage(seq=1, pid=0, round=1, service=Service.AGREED,
+                          payload=b"hi")
+    a.send_data(message)
+    data, tokens = drain(b)
+    assert len(data) == 1 and data[0].seq == 1
+    assert tokens == []
+    own_data, _ = a.poll(0.05)
+    assert own_data == []  # no loopback to self
+
+
+def test_token_goes_to_token_socket(pair):
+    a, b = pair
+    a.send_token(Token(hop=3), dst=1)
+    data, tokens = drain(b)
+    assert data == []
+    assert len(tokens) == 1 and tokens[0].hop == 3
+
+
+def test_loss_rule_applies_per_destination(pair):
+    a, b = pair
+    a.set_loss_rule(lambda kind, obj, dst: kind == "data")
+    a.send_data(DataMessage(seq=1, pid=0, round=1, service=Service.AGREED))
+    a.send_token(Token(hop=1), dst=1)
+    data, tokens = drain(b)
+    assert data == []
+    assert len(tokens) == 1
+
+
+def test_datagram_counters(pair):
+    a, b = pair
+    a.send_data(DataMessage(seq=1, pid=0, round=1, service=Service.AGREED))
+    drain(b)
+    assert a.datagrams_sent == 1
+    assert b.datagrams_received == 1
+
+
+def test_oversized_datagram_rejected(pair):
+    a, _b = pair
+    huge = DataMessage(seq=1, pid=0, round=1, service=Service.AGREED,
+                       payload=b"x" * 100_000)
+    with pytest.raises(ValueError):
+        a.send_data(huge)
+
+
+def test_poll_timeout_returns_empty(pair):
+    a, _b = pair
+    data, tokens = a.poll(0.01)
+    assert data == [] and tokens == []

@@ -1,0 +1,106 @@
+"""Unit tests for the event hub and the action helpers."""
+
+import pytest
+
+from repro.core import (
+    Deliver,
+    Discard,
+    EventHub,
+    SendData,
+    SendToken,
+    Service,
+    Token,
+    deliveries,
+    sends,
+    token_of,
+)
+from repro.core.messages import DataMessage
+
+
+def msg(seq=1):
+    return DataMessage(seq=seq, pid=1, round=1, service=Service.AGREED)
+
+
+# ---------------------------------------------------------------------------
+# EventHub
+# ---------------------------------------------------------------------------
+
+def test_subscribe_and_emit():
+    hub = EventHub()
+    seen = []
+    hub.subscribe("ping", lambda **kw: seen.append(kw))
+    hub.emit("ping", value=1)
+    hub.emit("ping", value=2)
+    assert seen == [{"value": 1}, {"value": 2}]
+
+
+def test_counts_track_all_events_even_without_subscribers():
+    hub = EventHub()
+    hub.emit("silent")
+    hub.emit("silent")
+    assert hub.count("silent") == 2
+    assert hub.count("never") == 0
+
+
+def test_multiple_subscribers_called_in_order():
+    hub = EventHub()
+    order = []
+    hub.subscribe("e", lambda **kw: order.append("first"))
+    hub.subscribe("e", lambda **kw: order.append("second"))
+    hub.emit("e")
+    assert order == ["first", "second"]
+
+
+def test_subscriber_exception_propagates():
+    hub = EventHub()
+
+    def broken(**kw):
+        raise RuntimeError("boom")
+
+    hub.subscribe("e", broken)
+    with pytest.raises(RuntimeError):
+        hub.emit("e")
+
+
+# ---------------------------------------------------------------------------
+# Action helpers
+# ---------------------------------------------------------------------------
+
+def test_deliveries_extracts_in_order():
+    actions = [
+        SendData(msg(1)),
+        Deliver(msg(2)),
+        SendToken(Token(), dst=2),
+        Deliver(msg(3)),
+        Discard(1),
+    ]
+    assert [m.seq for m in deliveries(actions)] == [2, 3]
+
+
+def test_sends_extracts_data_only():
+    actions = [
+        SendData(msg(1)),
+        SendToken(Token(), dst=2),
+        SendData(msg(2), retransmission=True),
+    ]
+    assert [m.seq for m in sends(actions)] == [1, 2]
+
+
+def test_token_of_requires_exactly_one():
+    with pytest.raises(ValueError):
+        token_of([SendData(msg(1))])
+    with pytest.raises(ValueError):
+        token_of([SendToken(Token(), 1), SendToken(Token(), 1)])
+    token = Token(seq=5)
+    assert token_of([SendToken(token, 1)]) is token
+
+
+def test_deliver_exposes_service():
+    safe = DataMessage(seq=1, pid=1, round=1, service=Service.SAFE)
+    assert Deliver(safe).service is Service.SAFE
+
+
+def test_actions_are_immutable():
+    action = SendData(msg(1))
+    with pytest.raises(Exception):
+        action.retransmission = True

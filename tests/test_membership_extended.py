@@ -1,0 +1,235 @@
+"""Extended membership scenarios and controller-level unit tests."""
+
+import pytest
+
+from repro.core import ProtocolConfig, Service
+from repro.evs import ConfigurationKind
+from repro.harness.evsnet import EVSNetwork
+from repro.membership import (
+    CommitToken,
+    EVSProcess,
+    JoinMessage,
+    MembershipTimeouts,
+    ProbeMessage,
+    State,
+)
+
+
+# ---------------------------------------------------------------------------
+# Late join (spawn)
+# ---------------------------------------------------------------------------
+
+def test_late_join_merges_into_ring():
+    net = EVSNetwork([1, 2, 3])
+    net.run_until_converged()
+    net.spawn(9)
+    net.run_until_converged()
+    for pid in (1, 2, 3, 9):
+        assert net.processes[pid].ring.members == (1, 2, 3, 9)
+
+
+def test_late_joiner_does_not_see_history():
+    net = EVSNetwork([1, 2])
+    net.run_until_converged()
+    net.submit(1, "historic")
+    net.run_quiet(200)
+    net.spawn(5)
+    net.run_until_converged()
+    net.run_quiet(200)
+    payloads = [m.payload for m in net.processes[5].delivered_messages()]
+    assert "historic" not in payloads
+
+
+def test_late_joiner_participates_in_ordering():
+    net = EVSNetwork([1, 2])
+    net.run_until_converged()
+    net.spawn(3)
+    net.run_until_converged()
+    net.submit(3, "newbie-speaks", Service.SAFE)
+    net.submit(1, "oldie-speaks")
+    net.run_quiet(400)
+    logs = {
+        pid: [m.payload for m in net.processes[pid].delivered_messages()]
+        for pid in (1, 2, 3)
+    }
+    for pid in (1, 2, 3):
+        assert "newbie-speaks" in logs[pid]
+    # The common suffix is identical (total order).
+    tail = [p for p in logs[1] if p in ("newbie-speaks", "oldie-speaks")]
+    for pid in (2, 3):
+        assert [p for p in logs[pid] if p in tail] == tail
+
+
+def test_spawn_duplicate_pid_rejected():
+    net = EVSNetwork([1])
+    with pytest.raises(ValueError):
+        net.spawn(1)
+
+
+def test_multiple_late_joins():
+    net = EVSNetwork([1])
+    net.run_quiet(30)
+    net.spawn(2)
+    net.run_until_converged()
+    net.spawn(3)
+    net.run_until_converged()
+    assert net.processes[1].ring.members == (1, 2, 3)
+
+
+# ---------------------------------------------------------------------------
+# Controller-level unit tests (no network)
+# ---------------------------------------------------------------------------
+
+def fresh(pid=1, **timeout_kw):
+    return EVSProcess(
+        pid, ProtocolConfig(), MembershipTimeouts(**timeout_kw)
+    )
+
+
+def test_bootstrap_enters_gather_and_floods_join():
+    process = fresh()
+    outgoing = process.bootstrap()
+    assert process.state is State.GATHER
+    joins = [o for o in outgoing if isinstance(o.payload, JoinMessage)]
+    assert len(joins) == 1
+    assert joins[0].dst is None  # multicast
+    assert joins[0].payload.proc_set == frozenset({1})
+
+
+def test_join_merges_proc_sets_and_rebroadcasts():
+    process = fresh(pid=1)
+    process.bootstrap()
+    outgoing = process.handle_ctrl(
+        JoinMessage(sender=2, proc_set=frozenset({2, 3}),
+                    fail_set=frozenset(), ring_seq=0),
+        src=2,
+    )
+    joins = [o.payload for o in outgoing if isinstance(o.payload, JoinMessage)]
+    assert joins and joins[0].proc_set == frozenset({1, 2, 3})
+
+
+def test_self_never_lands_in_fail_set():
+    process = fresh(pid=1)
+    process.bootstrap()
+    process.handle_ctrl(
+        JoinMessage(sender=2, proc_set=frozenset({1, 2}),
+                    fail_set=frozenset({1}), ring_seq=0),
+        src=2,
+    )
+    assert 1 not in process._fail_set
+
+
+def test_consensus_of_singleton_choice():
+    # A lone process that learns of another (via probe) but never hears
+    # a join from it must fail it on timeout and proceed alone.
+    process = fresh(pid=1, gather_ticks=2)
+    process.bootstrap()
+    process.handle_ctrl(ProbeMessage(sender=4, ring_id=4), src=4)
+    assert 4 in process._proc_set
+    # 4 stays silent: tick past the gather timeout, feeding any
+    # self-addressed control messages (the commit token of a singleton
+    # ring loops to ourselves) back into the process.
+    pending = []
+    for _tick in range(8):
+        pending.extend(process.tick())
+        while pending:
+            out = pending.pop(0)
+            if out.kind == "ctrl" and out.dst == 1:
+                pending.extend(process.handle_ctrl(out.payload, src=1))
+    assert 4 in process._fail_set
+    assert process.state is State.OPERATIONAL
+    assert process.ring.members == (1,)
+
+
+def test_representative_emits_commit_token():
+    a = fresh(pid=1)
+    a.bootstrap()
+    # 2's join already agrees with the union view {1, 2}: consensus
+    # forms immediately and the representative (lowest id) commits.
+    outgoing = a.handle_ctrl(
+        JoinMessage(sender=2, proc_set=frozenset({1, 2}),
+                    fail_set=frozenset(), ring_seq=0),
+        src=2,
+    )
+    commits = [o for o in outgoing if isinstance(o.payload, CommitToken)]
+    assert len(commits) == 1
+    assert commits[0].payload.members == (1, 2)
+    assert commits[0].dst == 2
+    assert a.state is State.COMMIT
+    # A duplicate of the same join must NOT abort the in-flight commit
+    # (that way lies livelock).
+    again = a.handle_ctrl(
+        JoinMessage(sender=2, proc_set=frozenset({1, 2}),
+                    fail_set=frozenset(), ring_seq=0),
+        src=2,
+    )
+    assert again == []
+    assert a.state is State.COMMIT
+
+
+def test_non_representative_waits_for_commit():
+    b = fresh(pid=5)
+    b.bootstrap()
+    outgoing = b.handle_ctrl(
+        JoinMessage(sender=1, proc_set=frozenset({1, 5}),
+                    fail_set=frozenset(), ring_seq=0),
+        src=1,
+    )
+    commits = [o for o in outgoing if isinstance(o.payload, CommitToken)]
+    assert commits == []  # pid 1 is the representative, not us
+    assert b.state is State.GATHER
+
+
+def test_commit_token_for_foreign_membership_ignored():
+    process = fresh(pid=1)
+    process.bootstrap()
+    result = process.handle_ctrl(
+        CommitToken(new_ring_id=99, members=(2, 3), rotation=1), src=2
+    )
+    assert result == []
+
+
+def test_stale_probe_does_not_trigger_gather():
+    net = EVSNetwork([1, 2])
+    net.run_until_converged()
+    process = net.processes[1]
+    ring_id = process.ring.ring_id
+    # A probe from a ring member for an OLDER ring id: stale, ignored.
+    out = process.handle_ctrl(ProbeMessage(sender=2, ring_id=1), src=2)
+    assert out == []
+    assert process.state is State.OPERATIONAL
+
+
+def test_probe_from_stranger_triggers_gather():
+    net = EVSNetwork([1, 2])
+    net.run_until_converged()
+    process = net.processes[1]
+    out = process.handle_ctrl(ProbeMessage(sender=77, ring_id=77), src=77)
+    assert process.state is State.GATHER
+    assert 77 in process._proc_set
+
+
+# ---------------------------------------------------------------------------
+# Stress: repeated partition/heal cycles
+# ---------------------------------------------------------------------------
+
+def test_repeated_partition_heal_cycles_stay_consistent():
+    net = EVSNetwork([1, 2, 3, 4])
+    net.run_until_converged()
+    for cycle in range(3):
+        net.set_partition({1, 2}, {3, 4})
+        net.run_until_converged()
+        net.submit(1, ("left", cycle))
+        net.submit(3, ("right", cycle))
+        net.run_quiet(300)
+        net.heal()
+        net.run_until_converged()
+        net.submit(2, ("merged", cycle), Service.SAFE)
+        net.run_quiet(300)
+    for pid in (1, 2, 3, 4):
+        payloads = [m.payload for m in net.processes[pid].delivered_messages()]
+        for cycle in range(3):
+            assert ("merged", cycle) in payloads
+    # Ring ids strictly increased and everyone ends on the same ring.
+    final = {net.processes[p].ring.ring_id for p in (1, 2, 3, 4)}
+    assert len(final) == 1

@@ -1,0 +1,79 @@
+"""Membership chaos fuzzing: random fault schedules, full EVS checking.
+
+Hypothesis drives random sequences of submits, crashes, partitions and
+heals against the membership stack; after every schedule the network is
+driven to convergence and every process's full event log must satisfy
+every EVS axiom (tests/test_evs_semantics.py documents them).
+"""
+
+import random
+
+from hypothesis import given, settings, HealthCheck
+from hypothesis import strategies as st
+
+from repro.core import Service
+from repro.evs.semantics import check_all
+from repro.harness.evsnet import EVSNetwork
+
+
+def live(net):
+    return [pid for pid in net.pids if pid not in net.crashed]
+
+
+def random_partition(rng, pids):
+    """Split pids into 1-3 random non-empty groups."""
+    groups = [[] for _i in range(rng.randint(1, min(3, len(pids))))]
+    for pid in pids:
+        rng.choice(groups).append(pid)
+    return [set(g) for g in groups if g]
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=2, max_value=5),
+    operations=st.integers(min_value=1, max_value=5),
+)
+def test_random_fault_schedules_preserve_evs(seed, n, operations):
+    rng = random.Random(seed)
+    pids = list(range(1, n + 1))
+    net = EVSNetwork(pids)
+    net.run_until_converged(max_steps=40_000)
+    submit_count = 0
+
+    for _op in range(operations):
+        choice = rng.random()
+        alive = live(net)
+        if choice < 0.35:
+            for _i in range(rng.randint(1, 6)):
+                pid = rng.choice(alive)
+                service = Service.SAFE if rng.random() < 0.4 else Service.AGREED
+                net.submit(pid, ("fuzz", submit_count), service)
+                submit_count += 1
+            net.run_quiet(rng.randint(5, 80))
+        elif choice < 0.55 and len(alive) > 1:
+            net.crash(rng.choice(alive))
+            net.run_quiet(rng.randint(0, 50))
+        elif choice < 0.8:
+            net.set_partition(*random_partition(rng, live(net)))
+            net.run_quiet(rng.randint(0, 80))
+        else:
+            net.heal()
+            net.run_quiet(rng.randint(0, 80))
+
+    # Settle: heal what remains and converge, then drain deliveries.
+    net.heal()
+    if live(net):
+        net.run_until_converged(max_steps=60_000)
+        net.run_quiet(400)
+
+    logs = {
+        pid: net.processes[pid].app_log
+        for pid in live(net)
+    }
+    if logs:
+        check_all(logs)
+        # Every survivor ends on the same ring.
+        rings = {net.processes[pid].ring.ring_id for pid in live(net)}
+        assert len(rings) == 1

@@ -1,0 +1,215 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.net.engine import (
+    Latch,
+    SimulationError,
+    Simulator,
+    Timeout,
+    drain,
+)
+
+
+def test_callbacks_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_in(2.0, order.append, "b")
+    sim.call_in(1.0, order.append, "a")
+    sim.call_in(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.call_in(1.0, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_call_at_schedules_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.call_in(1.0, lambda: sim.call_at(5.0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_in(-0.1, lambda: None)
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.call_in(10.0, fired.append, True)
+    sim.run(until=5.0)
+    assert not fired
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [True]
+
+
+def test_process_timeout_advances_time():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        log.append(sim.now)
+        yield Timeout(1.5)
+        log.append(sim.now)
+        yield Timeout(0.5)
+        log.append(sim.now)
+
+    sim.spawn(proc(), "p")
+    sim.run()
+    assert log == [0.0, 1.5, 2.0]
+
+
+def test_signal_wakes_waiters_in_order():
+    sim = Simulator()
+    signal = sim.signal("s")
+    woken = []
+
+    def waiter(tag):
+        value = yield signal
+        woken.append((tag, value, sim.now))
+
+    sim.spawn(waiter("a"), "a")
+    sim.spawn(waiter("b"), "b")
+    sim.call_in(3.0, signal.fire, 42)
+    sim.run()
+    assert woken == [("a", 42, 3.0), ("b", 42, 3.0)]
+
+
+def test_signal_is_reusable():
+    sim = Simulator()
+    signal = sim.signal()
+    hits = []
+
+    def waiter():
+        while True:
+            yield signal
+            hits.append(sim.now)
+
+    sim.spawn(waiter(), "w")
+    sim.call_in(1.0, signal.fire)
+    sim.call_in(2.0, signal.fire)
+    sim.run(until=3.0)
+    assert hits == [1.0, 2.0]
+
+
+def test_signal_has_no_memory():
+    sim = Simulator()
+    signal = sim.signal()
+    woken = []
+
+    def late_waiter():
+        yield Timeout(2.0)  # the fire at t=1 happens before we wait
+        yield signal
+        woken.append(sim.now)
+
+    sim.spawn(late_waiter(), "late")
+    sim.call_in(1.0, signal.fire)
+    sim.run(until=10.0)
+    assert woken == []
+
+
+def test_latch_remembers_fire():
+    sim = Simulator()
+    latch = sim.latch()
+    woken = []
+
+    def late_waiter():
+        yield Timeout(2.0)
+        value = yield latch
+        woken.append((sim.now, value))
+
+    sim.spawn(late_waiter(), "late")
+    sim.call_in(1.0, latch.fire, "done")
+    sim.run()
+    assert woken == [(2.0, "done")]
+
+
+def test_latch_fires_once():
+    sim = Simulator()
+    latch = sim.latch()
+    latch.fire("first")
+    latch.fire("second")
+    assert latch.value == "first"
+
+
+def test_process_done_latch():
+    sim = Simulator()
+
+    def short():
+        yield Timeout(1.0)
+
+    process = sim.spawn(short(), "short")
+    finished = []
+
+    def watcher():
+        yield process.done
+        finished.append(sim.now)
+
+    sim.spawn(watcher(), "watch")
+    sim.run()
+    assert finished == [1.0]
+    assert not process.alive
+
+
+def test_interrupted_process_never_resumes():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield Timeout(1.0)
+        log.append("should not happen")
+
+    process = sim.spawn(proc(), "p")
+    sim.call_in(0.5, process.interrupt)
+    sim.run()
+    assert log == []
+
+
+def test_bad_yield_raises():
+    sim = Simulator()
+
+    def bad():
+        yield "nonsense"
+
+    sim.spawn(bad(), "bad")
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_max_events_backstop():
+    sim = Simulator()
+
+    def forever():
+        while True:
+            yield Timeout(1.0)
+
+    sim.spawn(forever(), "loop")
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_event_count_increases():
+    sim = Simulator()
+    for _ in range(5):
+        sim.call_in(1.0, lambda: None)
+    sim.run()
+    assert sim.event_count == 5
+
+
+def test_drain_exhausts_iterable():
+    seen = []
+    drain(seen.append(i) for i in range(3))
+    assert seen == [0, 1, 2]

@@ -1,0 +1,90 @@
+"""Tests for the fabric monitor (network observability)."""
+
+import pytest
+
+from repro.net import (
+    GIGABIT,
+    FabricMonitor,
+    Frame,
+    Nic,
+    Simulator,
+    Switch,
+    Timeout,
+    Traffic,
+)
+
+
+def fabric(hosts=(0, 1, 2)):
+    sim = Simulator()
+    switch = Switch(sim, GIGABIT)
+    nics = []
+    for host in hosts:
+        switch.attach(host, lambda f: None)
+        nics.append(Nic(sim, host, GIGABIT, switch.receive))
+    return sim, switch, nics
+
+
+def frame(src, dst=None, size=1400):
+    return Frame(src=src, dst=dst, traffic=Traffic.DATA, size=size, payload=None)
+
+
+def test_snapshot_counts_sent_and_forwarded():
+    sim, switch, nics = fabric()
+    monitor = FabricMonitor(sim, switch, nics)
+    for _i in range(5):
+        nics[0].send(frame(0))          # multicast -> 2 forwards each
+        nics[1].send(frame(1, dst=2))   # unicast  -> 1 forward each
+    sim.run()
+    snap = monitor.snapshot()
+    assert snap.frames_sent == 10
+    assert snap.frames_forwarded == 5 * 2 + 5
+    assert snap.switch_drops == 0
+    assert snap.nic_drops == 0
+    assert snap.bytes_sent > 10 * 1400
+
+
+def test_periodic_sampling_collects_series():
+    sim, switch, nics = fabric()
+    monitor = FabricMonitor(sim, switch, nics)
+    monitor.sample_periodically(0.001)
+
+    def slow_sender():
+        for _i in range(10):
+            nics[0].send(frame(0))
+            yield Timeout(0.0005)
+
+    sim.spawn(slow_sender(), "sender")
+    sim.run(until=0.005)
+    assert len(monitor.samples) == 5
+    sent = [s.frames_sent for s in monitor.samples]
+    assert sent == sorted(sent)  # cumulative counters grow monotonically
+
+
+def test_utilization_fraction():
+    sim, switch, nics = fabric(hosts=(0, 1))
+    monitor = FabricMonitor(sim, switch, nics)
+    # Send exactly 1 ms of line-rate traffic: ~83 frames of 1500B wire.
+    wire = frame(0, dst=1, size=1430).wire_bytes()
+    count = int(1e9 * 0.001 / 8 / wire)
+    for _i in range(count):
+        nics[0].send(frame(0, dst=1, size=1430))
+    sim.run()
+    utilization = monitor.utilization(GIGABIT.rate_bps, window_s=0.001)
+    assert utilization == pytest.approx(1.0, rel=0.05)
+
+
+def test_utilization_zero_window():
+    sim, switch, nics = fabric(hosts=(0, 1))
+    monitor = FabricMonitor(sim, switch, nics)
+    assert monitor.utilization(1e9, 0.0) == 0.0
+
+
+def test_max_port_queue_tracked_in_snapshot():
+    sim, switch, nics = fabric(hosts=(0, 1, 2))
+    monitor = FabricMonitor(sim, switch, nics)
+    # Two senders converge on port 2: its queue must grow.
+    for _i in range(20):
+        nics[0].send(frame(0, dst=2))
+        nics[1].send(frame(1, dst=2))
+    sim.run()
+    assert monitor.snapshot().max_port_queue_bytes > 0

@@ -1,0 +1,153 @@
+"""Tests for small-message packing (Spread's built-in packing)."""
+
+from collections import deque
+
+import pytest
+
+from repro import LoopbackRing, ProtocolConfig, Service
+from repro.core import (
+    ITEM_HEADER_BYTES,
+    PackedPayload,
+    Participant,
+    Ring,
+    initial_token,
+    pack_next,
+    sends,
+    token_of,
+)
+from repro.core.participant import _PendingMessage
+
+
+def pend(payload, size, service=Service.AGREED, at=None):
+    return _PendingMessage(payload, service, size, at)
+
+
+# ---------------------------------------------------------------------------
+# pack_next unit behaviour
+# ---------------------------------------------------------------------------
+
+def test_greedy_fill_until_budget():
+    queue = deque(pend(i, 100) for i in range(20))
+    packed, service, size, _earliest = pack_next(queue, max_packet_payload=1350)
+    # 100 + 16 header = 116 per item -> 11 items fit in 1350.
+    assert len(packed) == 11
+    assert size == 11 * 116
+    assert len(queue) == 9
+
+
+def test_single_large_item_travels_alone():
+    queue = deque([pend("big", 5000), pend("small", 10)])
+    packed, _service, size, _earliest = pack_next(queue, max_packet_payload=1350)
+    assert len(packed) == 1
+    assert packed.items[0].payload == "big"
+    assert len(queue) == 1
+
+
+def test_service_boundary_splits_packets():
+    queue = deque([
+        pend("a1", 50, Service.AGREED),
+        pend("a2", 50, Service.AGREED),
+        pend("s1", 50, Service.SAFE),
+        pend("a3", 50, Service.AGREED),
+    ])
+    first, service1, _s, _e = pack_next(queue, 1350)
+    assert [i.payload for i in first.items] == ["a1", "a2"]
+    assert service1 is Service.AGREED
+    second, service2, _s, _e = pack_next(queue, 1350)
+    assert [i.payload for i in second.items] == ["s1"]
+    assert service2 is Service.SAFE
+
+
+def test_earliest_timestamp_propagates():
+    queue = deque([pend("x", 10, at=5.0), pend("y", 10, at=3.0)])
+    _packed, _service, _size, earliest = pack_next(queue, 1350)
+    assert earliest == 3.0
+
+
+def test_packed_payload_size_accounting():
+    packed = PackedPayload(tuple())
+    assert packed.total_size == 0
+    queue = deque([pend("x", 100)])
+    packed, _svc, size, _e = pack_next(queue, 1350)
+    assert packed.total_size == size == 100 + ITEM_HEADER_BYTES
+
+
+# ---------------------------------------------------------------------------
+# Participant-level packing
+# ---------------------------------------------------------------------------
+
+def test_packing_reduces_packet_count():
+    ring = Ring.of((1, 2))
+    packed_participant = Participant(
+        1, ring, ProtocolConfig(pack_messages=True, personal_window=40,
+                                accelerated_window=0)
+    )
+    plain_participant = Participant(
+        1, ring, ProtocolConfig(pack_messages=False, personal_window=40,
+                                accelerated_window=0)
+    )
+    for participant in (packed_participant, plain_participant):
+        for i in range(30):
+            participant.submit(("m", i), Service.AGREED, payload_size=100)
+    packed_sends = sends(packed_participant.on_token(initial_token()))
+    plain_sends = sends(plain_participant.on_token(initial_token()))
+    assert len(plain_sends) == 30
+    assert len(packed_sends) == 3  # 11 + 11 + 8
+    assert token_of_seq(packed_participant) == 3
+
+
+def token_of_seq(participant):
+    return participant.last_token_sent.seq
+
+
+def test_fcc_counts_packets_not_items():
+    ring = Ring.of((1, 2))
+    participant = Participant(
+        1, ring, ProtocolConfig(pack_messages=True, personal_window=40,
+                                accelerated_window=0)
+    )
+    for i in range(30):
+        participant.submit(("m", i), Service.AGREED, payload_size=100)
+    token = token_of(participant.on_token(initial_token()))
+    assert token.fcc == 3
+    assert token.seq == 3
+
+
+def test_end_to_end_packed_ring_preserves_order():
+    config = ProtocolConfig(pack_messages=True, personal_window=10,
+                            accelerated_window=5)
+    ring = LoopbackRing([1, 2, 3], config)
+    for pid in (1, 2, 3):
+        for i in range(40):
+            ring.submit(pid, (pid, i), Service.AGREED, payload_size=80)
+    ring.run(max_steps=500_000)
+    # Unpack each receiver's stream and check per-sender FIFO plus
+    # identical global item order.
+    streams = {}
+    for pid in (1, 2, 3):
+        items = []
+        for message in ring.delivered[pid]:
+            assert isinstance(message.payload, PackedPayload)
+            items.extend(i.payload for i in message.payload.items)
+        streams[pid] = items
+    assert streams[1] == streams[2] == streams[3]
+    assert len(streams[1]) == 120
+    for sender in (1, 2, 3):
+        mine = [i for (p, i) in streams[1] if p == sender]
+        assert mine == list(range(40))
+
+
+def test_safe_items_keep_stability_semantics_when_packed():
+    config = ProtocolConfig(pack_messages=True, accelerated_window=3)
+    ring = LoopbackRing([1, 2], config)
+    for i in range(6):
+        ring.submit(1, ("s", i), Service.SAFE, payload_size=50)
+        ring.submit(1, ("a", i), Service.AGREED, payload_size=50)
+    ring.run(max_steps=500_000)
+    # Stability checking is active inside the harness; also confirm
+    # packets carried homogeneous service levels.
+    for message in ring.delivered[2]:
+        kinds = {p[0] for p in (i.payload for i in message.payload.items)}
+        assert len(kinds) == 1
+        expected = "s" if message.service is Service.SAFE else "a"
+        assert kinds == {expected}

@@ -1,0 +1,86 @@
+"""Property-based tests for small-message packing."""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import LoopbackRing, ProtocolConfig, Service
+from repro.core import ITEM_HEADER_BYTES, PackedPayload, pack_next
+from repro.core.participant import _PendingMessage
+
+
+pending_items = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3000),   # payload size
+        st.booleans(),                              # safe?
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@given(pending_items, st.integers(min_value=100, max_value=2000))
+@settings(max_examples=200, deadline=None)
+def test_packets_respect_budget_and_preserve_order(items, budget):
+    queue = deque(
+        _PendingMessage(("p", index), Service.SAFE if safe else Service.AGREED,
+                        size, None)
+        for index, (size, safe) in enumerate(items)
+    )
+    unpacked = []
+    while queue:
+        packed, service, size, _earliest = pack_next(queue, budget)
+        assert len(packed) >= 1
+        # Multi-item packets never exceed the budget (single oversized
+        # items travel alone).
+        if len(packed) > 1:
+            assert size <= budget
+        assert size == packed.total_size
+        # Homogeneous service level per packet.
+        for item in packed.items:
+            original_index = item.payload[1]
+            expected_service = (
+                Service.SAFE if items[original_index][1] else Service.AGREED
+            )
+            assert expected_service is service
+        unpacked.extend(item.payload for item in packed.items)
+    # Exactly the submitted items, in submission order.
+    assert unpacked == [("p", index) for index in range(len(items))]
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=10, max_value=400),
+)
+@settings(max_examples=25, deadline=None)
+def test_packed_ring_always_totally_ordered(seed, n_nodes, size):
+    import random
+
+    rng = random.Random(seed)
+    config = ProtocolConfig(pack_messages=True, personal_window=8,
+                            accelerated_window=4)
+    pids = list(range(1, n_nodes + 1))
+    ring = LoopbackRing(pids, config)
+    counts = {pid: 0 for pid in pids}
+    for _i in range(40):
+        pid = rng.choice(pids)
+        service = Service.SAFE if rng.random() < 0.3 else Service.AGREED
+        ring.submit(pid, (pid, counts[pid]), service, payload_size=size)
+        counts[pid] += 1
+    ring.run(max_steps=2_000_000)
+
+    def unpack(pid):
+        items = []
+        for message in ring.delivered[pid]:
+            assert isinstance(message.payload, PackedPayload)
+            items.extend(i.payload for i in message.payload.items)
+        return items
+
+    streams = [unpack(pid) for pid in pids]
+    assert all(s == streams[0] for s in streams)
+    assert len(streams[0]) == 40
+    for sender in pids:
+        mine = [i for (p, i) in streams[0] if p == sender]
+        assert mine == list(range(counts[sender]))

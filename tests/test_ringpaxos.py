@@ -1,0 +1,51 @@
+"""Tests for the Ring Paxos baseline."""
+
+import pytest
+
+from repro.baselines import run_ringpaxos_point
+from repro.net import GIGABIT
+from repro.sim import LIBRARY, SPREAD
+
+
+def test_delivers_offered_load():
+    result = run_ringpaxos_point(
+        LIBRARY, GIGABIT, 200e6, n_nodes=4,
+        duration_s=0.05, warmup_s=0.015,
+    )
+    assert not result.saturated
+    assert result.achieved_bps == pytest.approx(200e6, rel=0.15)
+    assert result.latency.count > 100
+
+
+def test_all_learners_deliver_everything():
+    # min-throughput across receivers equals the offered rate: every
+    # node learned every decision.
+    result = run_ringpaxos_point(
+        SPREAD, GIGABIT, 300e6, n_nodes=6,
+        duration_s=0.06, warmup_s=0.02,
+    )
+    assert result.achieved_bps == pytest.approx(300e6, rel=0.15)
+
+
+def test_latency_includes_quorum_ring():
+    # Even at trivial load, latency includes forward + proposal +
+    # quorum-ring traversal: it grows with the ring size.
+    small = run_ringpaxos_point(LIBRARY, GIGABIT, 50e6, n_nodes=3,
+                                duration_s=0.05, warmup_s=0.015)
+    large = run_ringpaxos_point(LIBRARY, GIGABIT, 50e6, n_nodes=8,
+                                duration_s=0.05, warmup_s=0.015)
+    assert large.latency.mean_s > small.latency.mean_s
+
+
+def test_coordinator_is_the_bottleneck():
+    result = run_ringpaxos_point(
+        SPREAD, GIGABIT, 900e6, n_nodes=8,
+        duration_s=0.08, warmup_s=0.025,
+    )
+    assert result.saturated or result.achieved_bps < 850e6
+
+
+def test_zero_rate():
+    result = run_ringpaxos_point(LIBRARY, GIGABIT, 0.0, n_nodes=2,
+                                 duration_s=0.01, warmup_s=0.0)
+    assert result.achieved_bps == 0.0

@@ -1,0 +1,98 @@
+"""Tests for the dynamic Spread cluster (daemons over membership)."""
+
+import pytest
+
+from repro.core import Service
+from repro.spreadlike import DynamicSpreadCluster, MembershipNotice
+
+
+def flushed(cluster, steps=400):
+    cluster.flush(steps)
+    return cluster
+
+
+def test_basic_messaging_over_membership_stack():
+    cluster = DynamicSpreadCluster(3)
+    a = cluster.client("a", daemon=0)
+    b = cluster.client("b", daemon=2)
+    a.join("g")
+    b.join("g")
+    cluster.flush()
+    a.receive()
+    b.receive()
+    a.multicast("g", "over-evs")
+    cluster.flush()
+    assert [m.payload for m in b.receive_messages()] == ["over-evs"]
+
+
+def test_group_views_consistent_across_daemons():
+    cluster = DynamicSpreadCluster(4)
+    clients = [cluster.client("c%d" % i, daemon=i) for i in range(4)]
+    for client in clients:
+        client.join("shared")
+    cluster.flush()
+    views = [cluster.group_view(d, "shared") for d in range(4)]
+    assert all(v == views[0] for v in views)
+    assert len(views[0]) == 4
+
+
+def test_daemon_crash_removes_its_clients_from_groups():
+    cluster = DynamicSpreadCluster(3)
+    a = cluster.client("a", daemon=0)
+    doomed = cluster.client("doomed", daemon=1)
+    a.join("g")
+    doomed.join("g")
+    cluster.flush()
+    assert len(cluster.group_view(0, "g")) == 2
+
+    cluster.crash_daemon(1)
+    cluster.flush()
+    survivors_view = cluster.group_view(0, "g")
+    assert survivors_view == (a.client_id,)
+    view_2 = cluster.group_view(2, "g")
+    assert view_2 == survivors_view
+
+
+def test_members_notified_when_daemon_dies():
+    cluster = DynamicSpreadCluster(3)
+    a = cluster.client("a", daemon=0)
+    doomed = cluster.client("doomed", daemon=1)
+    a.join("g")
+    doomed.join("g")
+    cluster.flush()
+    a.receive()
+    cluster.crash_daemon(1)
+    cluster.flush()
+    notices = [e for e in a.receive() if isinstance(e, MembershipNotice)]
+    assert notices
+    assert doomed.client_id in notices[-1].left
+    assert notices[-1].members == (a.client_id,)
+
+
+def test_messaging_continues_after_crash():
+    cluster = DynamicSpreadCluster(3)
+    a = cluster.client("a", daemon=0)
+    c = cluster.client("c", daemon=2)
+    a.join("g")
+    c.join("g")
+    cluster.flush()
+    cluster.crash_daemon(1)
+    cluster.flush()
+    a.receive()
+    c.receive()
+    a.multicast("g", "still-alive", service=Service.SAFE)
+    cluster.flush()
+    assert [m.payload for m in c.receive_messages()] == ["still-alive"]
+
+
+def test_surviving_daemons_agree_after_crash():
+    cluster = DynamicSpreadCluster(4)
+    clients = [cluster.client("c%d" % i, daemon=i) for i in range(4)]
+    for client in clients:
+        client.join("g")
+    cluster.flush()
+    cluster.crash_daemon(3)
+    cluster.flush()
+    views = [cluster.group_view(d, "g") for d in (0, 1, 2)]
+    assert all(v == views[0] for v in views)
+    assert {c.daemon for c in views[0]} == {0, 1, 2}

@@ -1,0 +1,85 @@
+"""Direct tests of the Totem reference implementation and mini-driver.
+
+(The differential tests in test_differential.py compare it against the
+core engine; these pin the reference's own behaviour.)
+"""
+
+import pytest
+
+from repro.net.links import PRESETS
+from repro.totem import ReferenceRing, RefMessage, RefToken
+
+
+def test_simple_run_delivers_everything():
+    ring = ReferenceRing([1, 2, 3])
+    for pid in (1, 2, 3):
+        for index in range(10):
+            ring.submit(pid, (pid, index), safe=index % 2 == 0)
+    ring.run()
+    for pid in (1, 2, 3):
+        assert len(ring.delivered_payloads(pid)) == 30
+    assert ring.delivered_payloads(1) == ring.delivered_payloads(2)
+
+
+def test_seqs_are_dense_from_one():
+    ring = ReferenceRing([1, 2])
+    ring.submit(1, "a")
+    ring.submit(2, "b")
+    ring.run()
+    assert ring.delivered_seqs(1) == [1, 2]
+
+
+def test_personal_window_bounds_per_round():
+    ring = ReferenceRing([1], personal_window=3)
+    for index in range(10):
+        ring.submit(1, index)
+    ring.run()
+    # 10 messages at 3 per round -> at least 4 sending rounds happened.
+    assert ring.rounds >= 4
+    assert ring.delivered_payloads(1) == list(range(10))
+
+
+def test_empty_run_quiesces():
+    ring = ReferenceRing([1, 2, 3])
+    ring.run()
+    assert ring.delivered_payloads(1) == []
+
+
+def test_safe_messages_survive_loss():
+    dropped = set()
+
+    def drop_once(seq, dst):
+        key = (seq, dst)
+        if seq % 2 == 1 and key not in dropped:
+            dropped.add(key)
+            return True
+        return False
+
+    ring = ReferenceRing([1, 2, 3], drop_data=drop_once)
+    for index in range(12):
+        ring.submit(1, index, safe=True)
+    ring.run()
+    assert dropped
+    for pid in (1, 2, 3):
+        assert ring.delivered_payloads(pid) == list(range(12))
+
+
+def test_needs_at_least_one_participant():
+    with pytest.raises(ValueError):
+        ReferenceRing([])
+
+
+def test_ref_token_is_immutable_dataclass():
+    token = RefToken(seq=1, aru=1, aru_id=None, fcc=0, rtr=())
+    with pytest.raises(Exception):
+        token.seq = 2
+
+
+def test_ref_message_identity():
+    message = RefMessage(seq=1, pid=2, safe=True, payload="x")
+    assert message.seq == 1 and message.safe
+
+
+def test_link_presets_registry():
+    assert set(PRESETS) == {"1G", "10G", "10M"}
+    assert PRESETS["10G"].rate_bps == pytest.approx(1e10)
