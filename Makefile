@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full examples figures clean
+.PHONY: install test test-fast bench bench-full bench-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,13 @@ bench:
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Fast sanity pass: tier-1 tests + the kernel-throughput microbenchmark
+# (records events/sec to bench_results/kernel.json).  This is what CI runs.
+bench-smoke:
+	$(PYTHON) -m pytest tests/ -q
+	$(PYTHON) -m pytest benchmarks/test_kernel_events_per_sec.py -q
+	@cat bench_results/kernel.json
 
 figures:
 	$(PYTHON) -m repro.cli all

@@ -23,13 +23,15 @@ from .report import (
     simultaneous_improvement,
     throughput_gain_at_latency,
 )
-from .runner import persist_figure, run_sweep, series_label
+from .runner import persist_figure, run_sweep, series_label, sweep_points
+from .sweep import SweepPoint, SweepRunner, default_processes, run_sweep_point
 
 __all__ = [
     "SweepSpec", "tuned_configs", "full_mode", "ALL_FIGURES",
     "make_fig1", "make_fig2", "make_fig3", "make_fig4", "make_fig5",
     "make_fig6", "make_fig7",
-    "run_sweep", "persist_figure", "series_label",
+    "run_sweep", "persist_figure", "series_label", "sweep_points",
+    "SweepPoint", "SweepRunner", "default_processes", "run_sweep_point",
     "register", "headline", "render_all", "reset", "REGISTRY", "HEADLINES",
     "simultaneous_improvement", "throughput_gain_at_latency",
 ]

@@ -1,13 +1,21 @@
-"""Sweep runner: executes a SweepSpec into a Figure of series."""
+"""Sweep runner: executes a SweepSpec into a Figure of series.
+
+The grid of a figure is flattened into independent
+:class:`~repro.bench.sweep.SweepPoint` measurements and handed to a
+:class:`~repro.bench.sweep.SweepRunner`, which runs them serially or
+across a process pool (``processes`` argument, or the
+``REPRO_BENCH_PROCESSES`` environment variable).  Point order — and
+therefore every figure table and CSV — is identical either way.
+"""
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
-from ..sim import run_point
 from ..stats import Figure, SeriesPoint
 from .experiments import SweepSpec, tuned_configs
+from .sweep import SweepPoint, SweepRunner
 
 #: Directory where figures are persisted as markdown + CSV.
 RESULTS_DIR = os.environ.get("REPRO_BENCH_RESULTS", "bench_results")
@@ -19,50 +27,58 @@ def series_label(profile_name: str, protocol_name: str) -> str:
     return "%s/%s" % (profile_name, protocol_name)
 
 
-def run_sweep(
-    spec: SweepSpec,
-    progress: Optional[ProgressHook] = None,
-) -> Figure:
-    """Run every (profile, protocol, load) point of a figure."""
-    figure = Figure(spec.figure_id, spec.title)
+def sweep_points(spec: SweepSpec) -> List[SweepPoint]:
+    """Flatten a figure's (profile, protocol, load) grid, in figure order."""
     configs = tuned_configs(spec.link)
+    points: List[SweepPoint] = []
     for profile in spec.profiles:
         for protocol_name in spec.protocols:
             config = configs[protocol_name]
             label = series_label(profile.name, protocol_name)
-            series = figure.series_for(label)
             for offered_mbps in spec.offered_mbps:
-                result = run_point(
-                    config,
-                    profile,
-                    spec.link,
-                    offered_mbps * 1e6,
-                    n_nodes=spec.n_nodes,
-                    payload_size=spec.payload_size,
-                    service=spec.service,
-                    duration_s=spec.duration_s,
-                    warmup_s=spec.warmup_s,
-                )
-                series.add(
-                    SeriesPoint(
+                points.append(
+                    SweepPoint(
+                        index=len(points),
+                        series=label,
+                        config=config,
+                        profile=profile,
+                        link=spec.link,
                         offered_mbps=offered_mbps,
-                        achieved_mbps=result.achieved_mbps,
-                        latency_us=result.latency_us,
-                        saturated=result.saturated,
-                        extra={
-                            "rounds_per_s": result.rounds_per_s,
-                            "switch_drops": float(result.switch_drops),
-                            "retransmissions": float(result.retransmissions),
-                        },
+                        n_nodes=spec.n_nodes,
+                        payload_size=spec.payload_size,
+                        service=spec.service,
+                        duration_s=spec.duration_s,
+                        warmup_s=spec.warmup_s,
                     )
                 )
-                if progress is not None:
-                    progress(
-                        "%s %s @%.0f Mbps -> %.0f Mbps, %.0f us%s"
-                        % (spec.figure_id, label, offered_mbps,
-                           result.achieved_mbps, result.latency_us,
-                           " SAT" if result.saturated else "")
-                    )
+    return points
+
+
+def run_sweep(
+    spec: SweepSpec,
+    progress: Optional[ProgressHook] = None,
+    processes: Optional[int] = None,
+) -> Figure:
+    """Run every (profile, protocol, load) point of a figure."""
+    figure = Figure(spec.figure_id, spec.title)
+    runner = SweepRunner(processes)
+    hook = None
+    if progress is not None:
+        hook = lambda line: progress("%s %s" % (spec.figure_id, line))
+    for point, result in runner.run(sweep_points(spec), progress=hook):
+        figure.series_for(point.series).add(
+            SeriesPoint(
+                offered_mbps=point.offered_mbps,
+                achieved_mbps=result.achieved_mbps,
+                latency_us=result.latency_us,
+                saturated=result.saturated,
+                extra={
+                    "rounds_per_s": result.rounds_per_s,
+                    "switch_drops": float(result.switch_drops),
+                    "retransmissions": float(result.retransmissions),
+                },
+            )
+        )
     return figure
 
 

@@ -1,0 +1,155 @@
+"""Parallel sweep execution: fan independent measurements across processes.
+
+Every sweep in the benchmark suite is an embarrassingly parallel grid of
+:func:`repro.sim.run_point` calls — each point builds its own simulator,
+so points share no state and can run in separate worker processes.  The
+:class:`SweepRunner` owns that fan-out:
+
+* **Determinism** — each point carries its own seed (the sweep default is
+  ``run_point``'s seed, so results are bit-identical to a serial sweep),
+  and results are returned in point order no matter which worker finishes
+  first.  ``processes=1`` and ``processes=N`` therefore produce the same
+  figures, byte for byte; ``tests/test_parallel_sweep.py`` locks this in.
+* **Graceful fallback** — ``processes=1`` (the default) never imports
+  multiprocessing; a pool that cannot start (restricted environments)
+  falls back to the serial path instead of failing the sweep.
+
+The worker count defaults to the ``REPRO_BENCH_PROCESSES`` environment
+variable, so ``REPRO_BENCH_PROCESSES=4 make figures`` parallelizes every
+figure without touching call sites.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core import ProtocolConfig, Service
+from ..net import LinkSpec
+from ..sim import CostProfile, SimResult, run_point
+
+ProgressHook = Callable[[str], None]
+
+
+def default_processes() -> int:
+    """Worker count from ``REPRO_BENCH_PROCESSES`` (default: serial)."""
+    raw = os.environ.get("REPRO_BENCH_PROCESSES", "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent measurement of a sweep grid.
+
+    Carries everything a worker process needs to run the point, plus the
+    ``series`` label and ``index`` used to reassemble results in a
+    deterministic order.
+    """
+
+    index: int
+    series: str
+    config: ProtocolConfig
+    profile: CostProfile
+    link: LinkSpec
+    offered_mbps: float
+    n_nodes: int
+    payload_size: int
+    service: Service
+    duration_s: float
+    warmup_s: float
+    #: Per-point seed, forwarded to :func:`run_point`.  The default is
+    #: ``run_point``'s own default so parallel sweeps reproduce the
+    #: committed serial results exactly.
+    seed: int = 0
+
+
+def run_sweep_point(point: SweepPoint) -> Tuple[int, SimResult]:
+    """Execute one point; module-level so worker processes can pickle it."""
+    result = run_point(
+        point.config,
+        point.profile,
+        point.link,
+        point.offered_mbps * 1e6,
+        n_nodes=point.n_nodes,
+        payload_size=point.payload_size,
+        service=point.service,
+        duration_s=point.duration_s,
+        warmup_s=point.warmup_s,
+        seed=point.seed,
+    )
+    return point.index, result
+
+
+class SweepRunner:
+    """Runs a list of :class:`SweepPoint` serially or across a pool."""
+
+    def __init__(self, processes: Optional[int] = None) -> None:
+        self.processes = default_processes() if processes is None else max(1, processes)
+
+    def run(
+        self,
+        points: Sequence[SweepPoint],
+        progress: Optional[ProgressHook] = None,
+    ) -> List[Tuple[SweepPoint, SimResult]]:
+        """Run every point; results come back in point order."""
+        if self.processes > 1 and len(points) > 1:
+            results = self._run_parallel(points, progress)
+            if results is not None:
+                return results
+        return self._run_serial(points, progress)
+
+    # -- serial ----------------------------------------------------------
+
+    def _run_serial(
+        self,
+        points: Sequence[SweepPoint],
+        progress: Optional[ProgressHook],
+    ) -> List[Tuple[SweepPoint, SimResult]]:
+        out: List[Tuple[SweepPoint, SimResult]] = []
+        for point in points:
+            _index, result = run_sweep_point(point)
+            out.append((point, result))
+            if progress is not None:
+                progress(_progress_line(point, result))
+        return out
+
+    # -- parallel --------------------------------------------------------
+
+    def _run_parallel(
+        self,
+        points: Sequence[SweepPoint],
+        progress: Optional[ProgressHook],
+    ) -> Optional[List[Tuple[SweepPoint, SimResult]]]:
+        try:
+            import multiprocessing
+            pool = multiprocessing.Pool(min(self.processes, len(points)))
+        except (ImportError, OSError):
+            return None  # restricted environment: fall back to serial
+        position = {point.index: i for i, point in enumerate(points)}
+        slots: List[Optional[SimResult]] = [None] * len(points)
+        try:
+            # Unordered completion for wall-clock; the index carried by
+            # each result puts it back in its deterministic slot.
+            for index, result in pool.imap_unordered(run_sweep_point, points):
+                slot = position[index]
+                slots[slot] = result
+                if progress is not None:
+                    progress(_progress_line(points[slot], result))
+        finally:
+            pool.close()
+            pool.join()
+        return [(point, slots[i]) for i, point in enumerate(points)]
+
+
+def _progress_line(point: SweepPoint, result: SimResult) -> str:
+    return "%s @%.0f Mbps -> %.0f Mbps, %.0f us%s" % (
+        point.series,
+        point.offered_mbps,
+        result.achieved_mbps,
+        result.latency_us,
+        " SAT" if result.saturated else "",
+    )

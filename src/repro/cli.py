@@ -21,14 +21,18 @@ def _available() -> List[str]:
     return sorted(list(ALL_FIGURES) + ["fig4", "fig6"])
 
 
-def run_figure_by_id(figure_id: str, verbose: bool = True) -> List[str]:
+def run_figure_by_id(
+    figure_id: str,
+    verbose: bool = True,
+    processes: Optional[int] = None,
+) -> List[str]:
     """Run one figure's sweep(s); returns the markdown blocks."""
     progress = (lambda line: print("  " + line, file=sys.stderr)) if verbose else None
     if figure_id in ("fig4", "fig6"):
         specs = make_fig4() if figure_id == "fig4" else make_fig6()
         blocks = []
         for spec in specs:
-            figure = run_sweep(spec, progress=progress)
+            figure = run_sweep(spec, progress=progress, processes=processes)
             persist_figure(figure)
             blocks.append(figure.to_markdown())
         return blocks
@@ -37,7 +41,9 @@ def run_figure_by_id(figure_id: str, verbose: bool = True) -> List[str]:
             "unknown experiment %r; available: %s"
             % (figure_id, ", ".join(_available()))
         )
-    figure = run_sweep(ALL_FIGURES[figure_id](), progress=progress)
+    figure = run_sweep(
+        ALL_FIGURES[figure_id](), progress=progress, processes=processes
+    )
     persist_figure(figure)
     return [figure.to_markdown()]
 
@@ -59,6 +65,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress",
     )
+    parser.add_argument(
+        "--processes", type=int, default=None, metavar="N",
+        help="worker processes per sweep (default: REPRO_BENCH_PROCESSES "
+             "or serial); sweep points are independent simulations, so "
+             "results are identical at any worker count",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -69,7 +81,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_BENCH_FULL"] = "1"
     targets = _available() if args.experiment == "all" else [args.experiment]
     for target in targets:
-        for block in run_figure_by_id(target, verbose=not args.quiet):
+        blocks = run_figure_by_id(
+            target, verbose=not args.quiet, processes=args.processes
+        )
+        for block in blocks:
             print(block)
             print()
     return 0

@@ -18,7 +18,7 @@ from .config import Service
 from .messages import DataMessage, Token
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SendData:
     """Multicast a data message to the ring."""
 
@@ -27,7 +27,7 @@ class SendData:
     retransmission: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SendToken:
     """Unicast the updated token to the ring successor."""
 
@@ -35,7 +35,7 @@ class SendToken:
     dst: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Deliver:
     """Hand a message to the application, in total order."""
 
@@ -46,7 +46,7 @@ class Deliver:
         return self.message.service
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Discard:
     """All messages with seq <= ``upto`` are stable and were released."""
 

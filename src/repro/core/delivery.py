@@ -16,8 +16,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 from .buffer import ReceiveBuffer
+from .config import Service
 from .errors import DeliveryInvariantError
 from .messages import DataMessage
+
+_SAFE = Service.SAFE
 
 
 class DeliveryEngine:
@@ -70,20 +73,26 @@ class DeliveryEngine:
         Safe message beyond the stability bound.
         """
         out: List[DataMessage] = []
+        get = buffer.get
+        safe_bound = self._safe_bound
+        next_seq = self._delivered_upto + 1
         while True:
-            next_seq = self._delivered_upto + 1
-            message = buffer.get(next_seq)
+            message = get(next_seq)
             if message is None:
                 break
-            if message.service.requires_stability and next_seq > self._safe_bound:
+            # ``service is SAFE`` == Service.requires_stability, minus the
+            # per-message property call on this per-delivery hot path.
+            if message.service is _SAFE and next_seq > safe_bound:
                 break
             if message.seq != next_seq:
                 raise DeliveryInvariantError(
                     "buffer returned seq %d for slot %d" % (message.seq, next_seq)
                 )
             out.append(message)
-            self._delivered_upto = next_seq
-            self.total_delivered += 1
+            next_seq += 1
+        if out:
+            self._delivered_upto = next_seq - 1
+            self.total_delivered += len(out)
         return out
 
     def discardable_upto(self) -> int:

@@ -36,8 +36,10 @@ class EventHub:
 
     def emit(self, event: str, **payload: Any) -> None:
         self.counts[event] += 1
-        for fn in self._subscribers.get(event, ()):
-            fn(**payload)
+        subscribers = self._subscribers.get(event)
+        if subscribers:
+            for fn in subscribers:
+                fn(**payload)
 
     def count(self, event: str) -> int:
         return self.counts.get(event, 0)

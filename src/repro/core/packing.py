@@ -19,7 +19,7 @@ from .config import Service
 ITEM_HEADER_BYTES = 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PackedItem:
     """One application message inside a packed protocol packet."""
 
@@ -28,7 +28,7 @@ class PackedItem:
     submitted_at: Optional[float]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PackedPayload:
     """The payload of a protocol packet carrying several app messages."""
 
@@ -58,6 +58,8 @@ def pack_next(
 
     Returns (packed payload, service, packet payload size, earliest
     submit timestamp).  The caller guarantees ``pending`` is non-empty.
+    The packet size and earliest timestamp are accumulated during the
+    single packing pass — no second walk over the items.
     """
     first = pending.popleft()
     items: List[PackedItem] = [
@@ -65,6 +67,7 @@ def pack_next(
     ]
     service = first.service
     used = first.payload_size + ITEM_HEADER_BYTES
+    earliest = first.submitted_at
     while pending:
         nxt = pending[0]
         addition = nxt.payload_size + ITEM_HEADER_BYTES
@@ -73,8 +76,7 @@ def pack_next(
         pending.popleft()
         items.append(PackedItem(nxt.payload, nxt.payload_size, nxt.submitted_at))
         used += addition
-    earliest = min(
-        (i.submitted_at for i in items if i.submitted_at is not None),
-        default=None,
-    )
+        submitted_at = nxt.submitted_at
+        if submitted_at is not None and (earliest is None or submitted_at < earliest):
+            earliest = submitted_at
     return PackedPayload(tuple(items)), service, used, earliest

@@ -44,7 +44,7 @@ from .retransmit import RetransmitTracker
 from .ring import Ring
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingMessage:
     """An application message waiting for the token."""
 
@@ -54,7 +54,7 @@ class _PendingMessage:
     submitted_at: Optional[float]
 
 
-@dataclass
+@dataclass(slots=True)
 class ParticipantStats:
     """Counters exposed for tests and benchmarks."""
 
@@ -315,17 +315,22 @@ class Participant:
             self._max_round_seen = message.round
         is_new = self._buffer.insert(message)
         self._priority.note_data_processed(message)
+        stats = self.stats
+        emit = self.hub.emit
         if not is_new:
-            self.stats.data_duplicates += 1
-            self.hub.emit(ev.DATA_RECEIVED, pid=self.pid, message=message, new=False)
+            stats.data_duplicates += 1
+            emit(ev.DATA_RECEIVED, pid=self.pid, message=message, new=False)
             return []
-        self.stats.data_received += 1
-        self.hub.emit(ev.DATA_RECEIVED, pid=self.pid, message=message, new=True)
+        stats.data_received += 1
+        emit(ev.DATA_RECEIVED, pid=self.pid, message=message, new=True)
+        deliverable = self._delivery.collect_deliverable(self._buffer)
+        if not deliverable:
+            return []
         actions: List[Action] = []
-        for delivered in self._delivery.collect_deliverable(self._buffer):
+        for delivered in deliverable:
             actions.append(Deliver(delivered))
-            self.stats.delivered += 1
-            self.hub.emit(ev.MESSAGE_DELIVERED, pid=self.pid, message=delivered)
+            stats.delivered += 1
+            emit(ev.MESSAGE_DELIVERED, pid=self.pid, message=delivered)
         return actions
 
     # ------------------------------------------------------------------

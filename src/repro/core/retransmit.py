@@ -39,6 +39,8 @@ class RetransmitTracker:
         Every answerable request must be answered in the pre-token phase
         (otherwise other participants would re-request them).
         """
+        if not token.rtr:
+            return [], []
         answered: List[DataMessage] = []
         remaining: List[int] = []
         for seq in token.rtr:
@@ -61,7 +63,13 @@ class RetransmitTracker:
     def merge_requests(
         self, remaining: List[int], mine: List[int]
     ) -> Tuple[int, ...]:
-        """The outgoing token's rtr: unanswered requests plus our gaps."""
+        """The outgoing token's rtr: unanswered requests plus our gaps.
+
+        The loss-free common case (nothing unanswered, no gaps of our
+        own) returns the shared empty tuple without any set/sort churn.
+        """
+        if not remaining and not mine:
+            return ()
         return tuple(sorted(set(remaining) | set(mine)))
 
     def advance_horizon(self, received_token_seq: int) -> None:

@@ -11,17 +11,50 @@ The network substrate (:mod:`repro.net`) and the protocol hosts
 (:mod:`repro.sim`) are built entirely on this kernel, which keeps the
 protocol code free of wall-clock concerns and makes every experiment
 reproducible bit-for-bit.
+
+Performance notes
+-----------------
+The kernel is the hot loop of every benchmark: a simulated second pushes
+millions of events through :meth:`Simulator.run`, so the event path is
+tuned while keeping the *observable order identical* to a single heap:
+
+* Zero-delay events (process resumes, :meth:`Signal.fire`, and
+  ``call_in(0.0, ...)``) bypass the heap entirely and go to a FIFO
+  *ready queue* (a deque).  The run loop always executes the globally
+  smallest ``(time, insertion-order)`` event next, so the documented
+  deterministic tie-break order is preserved exactly (locked in by
+  ``tests/test_determinism.py``); see :class:`Simulator` for why the
+  ready queue needs no explicit insertion-order numbers.
+* :meth:`Process._step` inlines the :class:`Timeout` schedule (the single
+  most common yield) instead of going through :meth:`Simulator.call_in`.
+* The :meth:`Simulator.run` loop caches the queue, ready deque and heap
+  functions in locals.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 
 class SimulationError(Exception):
     """Raised when the kernel is used incorrectly."""
+
+
+#: Shared argument tuple for the overwhelmingly common resume-with-None.
+_NONE_ARGS = (None,)
+
+#: Tie value carried by every ready-queue entry.  Ready entries never need
+#: real insertion-order numbers: when simulated time advances to T the
+#: ready queue is empty (its entries always sort before any later heap
+#: event), so every heap event at time T was pushed *before* T's execution
+#: began, while every ready entry at T is created *during* it.  Heap
+#: events at T therefore always precede ready events at T — exactly what a
+#: constant +inf tie expresses — and the ready queue's FIFO order equals
+#: creation order, which is what the shared counter would have recorded.
+_READY_TIE = float("inf")
 
 
 class Timeout:
@@ -57,9 +90,18 @@ class Signal:
 
     def fire(self, value: Any = None) -> None:
         """Resume every process currently waiting on this signal."""
-        waiters, self._waiters = self._waiters, []
+        waiters = self._waiters
+        if not waiters:
+            return
+        self._waiters = []
+        # Inlined Simulator._schedule_resume: append each waiter to the
+        # ready queue; the FIFO preserves the wait order.
+        sim = self.sim
+        append = sim._ready.append
+        now = sim.now
+        args = _NONE_ARGS if value is None else (value,)
         for process in waiters:
-            self.sim._schedule_resume(process, value)
+            append((now, _READY_TIE, process._step, args))
 
     @property
     def waiter_count(self) -> int:
@@ -94,7 +136,7 @@ class Latch(Signal):
 class Process:
     """A running generator, driven by the kernel."""
 
-    __slots__ = ("sim", "name", "_generator", "alive", "_done_latch")
+    __slots__ = ("sim", "name", "_generator", "alive", "_done_latch", "_resume_args")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str) -> None:
         self.sim = sim
@@ -102,6 +144,8 @@ class Process:
         self._generator = generator
         self.alive = True
         self._done_latch = Latch(sim, name + ".done")
+        #: Constant argument tuple for the Timeout wake-up path.
+        self._resume_args = (self, None)
 
     @property
     def done(self) -> Latch:
@@ -117,14 +161,33 @@ class Process:
             self.alive = False
             self._done_latch.fire()
             return
-        if isinstance(yielded, Timeout):
-            self.sim.call_in(yielded.delay, self.sim._schedule_resume, self, None)
-        elif isinstance(yielded, Signal):
-            yielded_signal = yielded
-            if isinstance(yielded_signal, Latch) and yielded_signal.fired:
-                self.sim._schedule_resume(self, yielded_signal.value)
+        cls = type(yielded)
+        if cls is Timeout:
+            # Fast path: schedule the resume directly, skipping the
+            # call_in indirection (Timeout already validated delay >= 0).
+            # The resume stays a two-hop schedule (heap event ->
+            # ready-queue _step) so the interleaving with events scheduled
+            # between now and the wake-up time is unchanged.
+            sim = self.sim
+            delay = yielded.delay
+            if delay:
+                heappush(
+                    sim._queue,
+                    (sim.now + delay, next(sim._tie), sim._schedule_resume,
+                     self._resume_args),
+                )
             else:
-                yielded_signal._waiters.append(self)
+                sim._ready.append(
+                    (sim.now, _READY_TIE, sim._schedule_resume,
+                     self._resume_args)
+                )
+        elif isinstance(yielded, Signal):
+            if isinstance(yielded, Latch) and yielded.fired:
+                self.sim._schedule_resume(self, yielded.value)
+            else:
+                yielded._waiters.append(self)
+        elif isinstance(yielded, Timeout):  # a Timeout subclass
+            self.sim.call_in(yielded.delay, self.sim._schedule_resume, self, None)
         else:
             raise SimulationError(
                 "process %s yielded %r; expected Timeout or Signal"
@@ -140,11 +203,27 @@ class Process:
 
 
 class Simulator:
-    """The event loop: a priority queue of timestamped callbacks."""
+    """The event loop: a priority queue of timestamped callbacks.
+
+    Two internal queues back the loop: a binary heap for events in the
+    future and a FIFO *ready queue* for events scheduled at the current
+    time.  Both hold ``(when, tie, fn, args)`` tuples and :meth:`run`
+    always executes the smallest ``(when, tie)`` next — so the split is
+    invisible: execution order is identical to a single heap with
+    insertion-order tie-breaking.  Heap entries draw real numbers from
+    the ``tie`` counter; ready entries carry the constant
+    :data:`_READY_TIE` (= +inf), which encodes the provable invariant
+    that at any timestamp all heap events precede all ready events (a
+    heap event at time T is always pushed before T's execution starts,
+    a ready event at T is always created during it).
+    """
+
+    __slots__ = ("now", "_queue", "_ready", "_tie", "_event_count")
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._queue: List[Any] = []
+        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        self._ready: Deque[Tuple[float, int, Callable, tuple]] = deque()
         self._tie = itertools.count()
         self._event_count = 0
 
@@ -152,16 +231,22 @@ class Simulator:
 
     def call_in(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
-        if delay < 0:
+        if delay > 0:
+            heappush(self._queue, (self.now + delay, next(self._tie), fn, args))
+        elif delay == 0:
+            self._ready.append((self.now, _READY_TIE, fn, args))
+        else:
             raise SimulationError("cannot schedule into the past (delay=%r)" % delay)
-        heapq.heappush(self._queue, (self.now + delay, next(self._tie), fn, args))
 
     def call_at(self, when: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at absolute simulated time ``when``."""
         self.call_in(when - self.now, fn, *args)
 
     def _schedule_resume(self, process: Process, value: Any) -> None:
-        self.call_in(0.0, process._step, value)
+        self._ready.append((
+            self.now, _READY_TIE, process._step,
+            _NONE_ARGS if value is None else (value,),
+        ))
 
     # -- processes -------------------------------------------------------
 
@@ -182,25 +267,53 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: int = 200_000_000) -> None:
         """Drain the event queue.
 
-        ``until`` bounds simulated time (events at exactly ``until`` run);
-        ``max_events`` is a runaway-loop backstop.
+        ``until`` bounds simulated time (events at exactly ``until`` run).
+
+        ``max_events`` is a runaway-loop backstop counted **per call**:
+        each ``run()`` invocation gets a fresh budget of ``max_events``
+        events, independent of the cumulative :attr:`event_count` (which
+        keeps growing across calls).
         """
         queue = self._queue
+        ready = self._ready
+        pop = heappop
+        popleft = ready.popleft
+        limit = float("inf") if until is None else until
         count = 0
-        while queue:
-            when, _tie, fn, args = queue[0]
-            if until is not None and when > until:
+        try:
+            while True:
+                # Pick the globally smallest (when, tie).  Tuples never
+                # compare past the tie (heap ties are unique ints, ready
+                # ties are +inf), so fn/args are never compared.
+                if ready:
+                    item = ready[0]
+                    if queue and queue[0] < item:
+                        item = queue[0]
+                        from_ready = False
+                    else:
+                        from_ready = True
+                elif queue:
+                    item = queue[0]
+                    from_ready = False
+                else:
+                    break
+                when = item[0]
+                if when > limit:
+                    self.now = until  # type: ignore[assignment]
+                    return
+                if from_ready:
+                    popleft()
+                else:
+                    pop(queue)
+                self.now = when
+                item[2](*item[3])
+                count += 1
+                if count >= max_events:
+                    raise SimulationError("exceeded max_events=%d" % max_events)
+            if until is not None:
                 self.now = until
-                return
-            heapq.heappop(queue)
-            self.now = when
-            fn(*args)
-            count += 1
-            self._event_count += 1
-            if count >= max_events:
-                raise SimulationError("exceeded max_events=%d" % max_events)
-        if until is not None:
-            self.now = until
+        finally:
+            self._event_count += count
 
     @property
     def event_count(self) -> int:
@@ -208,7 +321,9 @@ class Simulator:
         return self._event_count
 
     def __repr__(self) -> str:
-        return "Simulator(now=%g, pending=%d)" % (self.now, len(self._queue))
+        return "Simulator(now=%g, pending=%d)" % (
+            self.now, len(self._queue) + len(self._ready),
+        )
 
 
 def drain(iterable: Iterable[Any]) -> None:

@@ -35,7 +35,7 @@ class Traffic(enum.Enum):
 _frame_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One UDP datagram on the simulated network.
 
@@ -44,6 +44,10 @@ class Frame:
     datagrams larger than the MTU — the paper's 8850-byte experiments use
     kernel-level fragmentation across six frames, and the loss of any
     fragment loses the whole datagram.
+
+    The fragment count and wire size are fixed at construction (``size``
+    never changes once a frame is on the wire) and cached: every hop —
+    NIC, switch port, receive socket — re-reads them.
     """
 
     src: int
@@ -53,6 +57,15 @@ class Frame:
     payload: Any
     sent_at: float = 0.0
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    _fragments: int = field(init=False, repr=False, compare=False, default=1)
+    _wire_bytes: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        fragments = -(-self.size // ETHERNET_MTU)
+        if fragments < 1:
+            fragments = 1
+        self._fragments = fragments
+        self._wire_bytes = self.size + fragments * WIRE_OVERHEAD
 
     @property
     def is_multicast(self) -> bool:
@@ -60,11 +73,11 @@ class Frame:
 
     def fragment_count(self) -> int:
         """Number of Ethernet frames the datagram occupies on the wire."""
-        return max(1, -(-self.size // ETHERNET_MTU))
+        return self._fragments
 
     def wire_bytes(self) -> int:
         """Total bytes on the wire including per-fragment overhead."""
-        return self.size + self.fragment_count() * WIRE_OVERHEAD
+        return self._wire_bytes
 
     def __repr__(self) -> str:
         target = "mcast" if self.is_multicast else str(self.dst)

@@ -69,15 +69,31 @@ class Nic:
     # -- internals ----------------------------------------------------------
 
     def _tx_loop(self):
+        # Hot loop: one iteration per frame sent by this host.  Locals are
+        # cached and the serialization delay is computed with the exact
+        # same operations as LinkSpec.serialization_s (bit-identical
+        # floats keep runs reproducible against older kernels).
         spec = self.spec
+        queue = self._queue
+        wakeup = self._wakeup
+        rate_bps = spec.rate_bps
+        propagation_s = spec.propagation_s
+        call_in = self.sim.call_in
+        deliver = self._deliver_to_switch
+        # Timeouts are immutable and wire sizes repeat, so the
+        # serialization pauses are cached per size.
+        timeouts: dict = {}
         while True:
-            if not self._queue:
-                yield self._wakeup
+            if not queue:
+                yield wakeup
                 continue
-            frame = self._queue.popleft()
+            frame = queue.popleft()
             wire = frame.wire_bytes()
             self._queued_bytes -= wire
-            yield Timeout(spec.serialization_s(wire))
+            pause = timeouts.get(wire)
+            if pause is None:
+                pause = timeouts[wire] = Timeout(wire * 8.0 / rate_bps)
+            yield pause
             self.frames_sent += 1
             self.bytes_sent += wire
-            self.sim.call_in(spec.propagation_s, self._deliver_to_switch, frame)
+            call_in(propagation_s, deliver, frame)

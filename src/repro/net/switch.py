@@ -51,7 +51,8 @@ class SwitchPort:
         self._process = sim.spawn(self._tx_loop(), "port%d" % host_id)
 
     def enqueue(self, frame: Frame) -> None:
-        if self._loss(frame):
+        loss = self._loss
+        if loss is not no_loss and loss(frame):
             self.drops_injected += 1
             return
         wire = frame.wire_bytes()
@@ -69,18 +70,32 @@ class SwitchPort:
         return self._queued_bytes
 
     def _tx_loop(self):
-        spec = self.spec
+        # Hot loop: one iteration per frame leaving this port.  The
+        # serialization delay uses the exact same float operations as
+        # LinkSpec.serialization_s so results stay bit-identical.
+        queue = self._queue
+        wakeup = self._wakeup
+        rate_bps = self.spec.rate_bps
+        propagation_s = self.spec.propagation_s
+        call_in = self.sim.call_in
+        deliver = self._deliver
+        # Timeouts are immutable and wire sizes repeat, so the
+        # serialization pauses are cached per size.
+        timeouts: dict = {}
         while True:
-            if not self._queue:
-                yield self._wakeup
+            if not queue:
+                yield wakeup
                 continue
-            frame = self._queue.popleft()
+            frame = queue.popleft()
             wire = frame.wire_bytes()
             self._queued_bytes -= wire
-            yield Timeout(spec.serialization_s(wire))
+            pause = timeouts.get(wire)
+            if pause is None:
+                pause = timeouts[wire] = Timeout(wire * 8.0 / rate_bps)
+            yield pause
             self.frames_forwarded += 1
             self.bytes_forwarded += wire
-            self.sim.call_in(spec.propagation_s, self._deliver, frame)
+            call_in(propagation_s, deliver, frame)
 
 
 class Switch:
@@ -90,6 +105,10 @@ class Switch:
         self.sim = sim
         self.spec = spec
         self._ports: Dict[int, SwitchPort] = {}
+        #: Per-source multicast fan-out: list of enqueue methods of every
+        #: *other* port, in attach order (the replication order at the
+        #: crossbar).  Built lazily, invalidated on attach.
+        self._fanout: Dict[int, list] = {}
         self.frames_received = 0
 
     def attach(
@@ -103,10 +122,22 @@ class Switch:
             raise ValueError("host %d already attached" % host_id)
         port = SwitchPort(self.sim, host_id, self.spec, deliver, loss)
         self._ports[host_id] = port
+        self._fanout.clear()
         return port
 
     def port(self, host_id: int) -> SwitchPort:
         return self._ports[host_id]
+
+    def set_port_loss(self, host_id: int, loss: LossModel) -> None:
+        """Install a loss model on one egress port.
+
+        The public way to inject fabric loss after attachment (e.g. the
+        benchmark cluster applying one shared loss model to every port).
+        """
+        port = self._ports.get(host_id)
+        if port is None:
+            raise ValueError("no port for host %r" % (host_id,))
+        port._loss = loss
 
     @property
     def host_ids(self):
@@ -118,10 +149,17 @@ class Switch:
         self.sim.call_in(self.spec.switch_latency_s, self._forward, frame)
 
     def _forward(self, frame: Frame) -> None:
-        if frame.is_multicast:
-            for host_id, port in self._ports.items():
-                if host_id != frame.src:
-                    port.enqueue(frame)
+        if frame.dst is None:  # multicast
+            src = frame.src
+            fanout = self._fanout.get(src)
+            if fanout is None:
+                fanout = self._fanout[src] = [
+                    port.enqueue
+                    for host_id, port in self._ports.items()
+                    if host_id != src
+                ]
+            for enqueue in fanout:
+                enqueue(frame)
         else:
             port = self._ports.get(frame.dst)
             if port is None:

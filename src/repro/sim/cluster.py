@@ -99,7 +99,7 @@ class SimCluster:
             )
         if loss is not None:
             for pid in self.ring:
-                self.switch.port(pid)._loss = loss
+                self.switch.set_port_loss(pid, loss)
         self.monitor = FabricMonitor(
             self.sim, self.switch, [n.nic for n in self.nodes.values()]
         )

@@ -67,15 +67,16 @@ class LatencyRecorder:
     ) -> None:
         if delivered_at < self.warmup_until_s:
             return
-        self.delivered_bytes[node_id] = (
-            self.delivered_bytes.get(node_id, 0) + payload_size
-        )
-        self.delivered_messages[node_id] = (
-            self.delivered_messages.get(node_id, 0) + 1
-        )
+        delivered_bytes = self.delivered_bytes
+        delivered_bytes[node_id] = delivered_bytes.get(node_id, 0) + payload_size
+        delivered_messages = self.delivered_messages
+        delivered_messages[node_id] = delivered_messages.get(node_id, 0) + 1
         if submitted_at is None or submitted_at < self.warmup_until_s:
             return
-        self._samples.setdefault(service, []).append(delivered_at - submitted_at)
+        samples = self._samples.get(service)
+        if samples is None:
+            samples = self._samples[service] = []
+        samples.append(delivered_at - submitted_at)
 
     def summary(self, service: Optional[Service] = None) -> LatencySummary:
         if service is None:

@@ -60,6 +60,14 @@ class SimNode:
         self._data_queue: Deque[Frame] = deque()
         self._data_queue_bytes = 0
         self._wakeup = sim.signal("node%d" % pid)
+        # Timeout objects are immutable, so the CPU-charge pauses — a
+        # handful of distinct cost values repeated millions of times — are
+        # cached per payload size instead of allocated per event.
+        self._timeout_recv_token = Timeout(profile.recv_token_cpu_s)
+        self._timeout_send_token = Timeout(profile.send_token_cpu_s)
+        self._recv_timeouts: dict = {}
+        self._send_timeouts: dict = {}
+        self._deliver_timeouts: dict = {}
         self.socket_drops = 0
         self.tokens_resent = 0
         self._retransmit_deadline = 0.0
@@ -108,37 +116,63 @@ class SimNode:
     def _cpu_loop(self):
         profile = self.profile
         participant = self.participant
+        token_queue = self._token_queue
+        data_queue = self._data_queue
+        wakeup = self._wakeup
+        timeout_recv_token = self._timeout_recv_token
+        recv_timeouts = self._recv_timeouts
+        data_recv_cost = profile.data_recv_cost
+        on_token = participant.on_token
+        on_data = participant.on_data
+        execute = self._execute
         while True:
-            token_pending = bool(self._token_queue)
-            data_pending = bool(self._data_queue)
+            token_pending = bool(token_queue)
+            data_pending = bool(data_queue)
             if not token_pending and not data_pending:
-                yield self._wakeup
+                yield wakeup
                 continue
             take_token = token_pending and (
                 participant.token_has_priority or not data_pending
             )
             if take_token:
-                token = self._token_queue.popleft()
-                yield Timeout(profile.recv_token_cpu_s)
-                actions = participant.on_token(token)
-                for pause in self._execute(actions):
+                token = token_queue.popleft()
+                yield timeout_recv_token
+                actions = on_token(token)
+                for pause in execute(actions):
                     yield pause
             else:
-                frame = self._data_queue.popleft()
+                frame = data_queue.popleft()
                 self._data_queue_bytes -= frame.wire_bytes()
                 message: DataMessage = frame.payload
-                yield Timeout(profile.data_recv_cost(message.payload_size))
-                actions = participant.on_data(message)
-                for pause in self._execute(actions):
+                size = message.payload_size
+                pause = recv_timeouts.get(size)
+                if pause is None:
+                    pause = recv_timeouts[size] = Timeout(data_recv_cost(size))
+                yield pause
+                actions = on_data(message)
+                for pause in execute(actions):
                     yield pause
 
     def _execute(self, actions):
-        """Run an action list, yielding Timeouts for each CPU charge."""
+        """Run an action list, yielding Timeouts for each CPU charge.
+
+        Dispatches on the exact action type — the action algebra is a
+        closed union (:data:`repro.core.actions.Action`), so this is
+        equivalent to the isinstance chain and cheaper per action.
+        """
         profile = self.profile
+        send_timeouts = self._send_timeouts
         for action in actions:
-            if isinstance(action, SendData):
+            kind = type(action)
+            if kind is SendData:
                 message = action.message
-                yield Timeout(profile.data_send_cost(message.payload_size))
+                size = message.payload_size
+                pause = send_timeouts.get(size)
+                if pause is None:
+                    pause = send_timeouts[size] = Timeout(
+                        profile.data_send_cost(size)
+                    )
+                yield pause
                 self.nic.send(
                     Frame(
                         src=self.pid,
@@ -148,8 +182,8 @@ class SimNode:
                         payload=message,
                     )
                 )
-            elif isinstance(action, SendToken):
-                yield Timeout(profile.send_token_cpu_s)
+            elif kind is SendToken:
+                yield self._timeout_send_token
                 self.nic.send(
                     Frame(
                         src=self.pid,
@@ -160,9 +194,15 @@ class SimNode:
                     )
                 )
                 self._arm_token_retransmit(action)
-            elif isinstance(action, Deliver):
+            elif kind is Deliver:
                 message = action.message
-                yield Timeout(profile.deliver_cost(message.payload_size))
+                size = message.payload_size
+                pause = self._deliver_timeouts.get(size)
+                if pause is None:
+                    pause = self._deliver_timeouts[size] = Timeout(
+                        profile.deliver_cost(size)
+                    )
+                yield pause
                 payload = message.payload
                 if isinstance(payload, PackedPayload):
                     # Packed packets: account each application message
@@ -185,7 +225,7 @@ class SimNode:
                     )
                 if self._deliver_callback is not None:
                     self._deliver_callback(self.pid, message)
-            elif isinstance(action, Discard):
+            elif kind is Discard:
                 pass  # garbage collection is free compared to the rest
 
     # -- token-loss recovery --------------------------------------------------

@@ -93,3 +93,73 @@ def test_cli_runs_injected_tiny_figure(monkeypatch, capsys, tmp_path):
     out = capsys.readouterr().out
     assert "tinyfig" in out
     assert "library/accelerated" in out
+
+
+# -- engine-level ordering guarantees ----------------------------------------
+#
+# The kernel splits same-time events between a heap and a zero-delay ready
+# queue; these tests lock in the documented tie-break order so kernel
+# optimizations cannot silently reorder same-time events.
+
+def test_zero_delay_events_run_in_insertion_order():
+    """Timeout(0), Signal.fire and call_in(0.0) interleave by insertion."""
+    from repro.net import Simulator, Timeout
+
+    sim = Simulator()
+    order = []
+    sig = sim.signal("s")
+
+    def waiter(tag):
+        yield sig
+        order.append(tag)
+        yield Timeout(0)
+        order.append(tag + "+t0")
+
+    def firer():
+        order.append("firer-start")
+        sim.call_in(0.0, lambda: order.append("callin-a"))
+        sig.fire()
+        sim.call_in(0.0, lambda: order.append("callin-b"))
+        order.append("firer-yield")
+        yield Timeout(0)
+        order.append("firer-resumed")
+
+    sim.spawn(waiter("w1"), "w1")
+    sim.spawn(waiter("w2"), "w2")
+    sim.spawn(firer(), "f")
+    sim.run()
+
+    assert order == [
+        "firer-start", "firer-yield",   # firer's first step, uninterrupted
+        "callin-a",                     # scheduled before the fire
+        "w1", "w2",                     # fire resumes waiters in wait order
+        "callin-b",                     # scheduled after the fire
+        "firer-resumed",                # Timeout(0) yielded before w1/w2's
+        "w1+t0", "w2+t0",
+    ]
+
+
+def test_heap_events_precede_same_time_resumes():
+    """At time T, events scheduled before T outrank resumes created at T."""
+    from repro.net import Simulator
+
+    sim = Simulator()
+    order = []
+    sig = sim.signal("s")
+
+    def waiter():
+        yield sig
+        order.append("resumed")
+
+    def fire_and_log():
+        order.append("A")
+        sig.fire()
+
+    sim.spawn(waiter(), "w")
+    sim.run(until=0.5)  # waiter is now blocked on the signal
+    sim.call_in(0.5, fire_and_log)
+    sim.call_in(0.5, lambda: order.append("B"))
+    sim.run()
+    # Both callbacks land at t=1.0; the resume triggered by A must wait
+    # until every heap event at t=1.0 (here: B) has run.
+    assert order == ["A", "B", "resumed"]

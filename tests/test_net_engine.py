@@ -213,3 +213,22 @@ def test_drain_exhausts_iterable():
     seen = []
     drain(seen.append(i) for i in range(3))
     assert seen == [0, 1, 2]
+
+
+def test_max_events_budget_is_per_call():
+    sim = Simulator()
+
+    def ticker():
+        while True:
+            yield Timeout(1.0)
+
+    sim.spawn(ticker(), "tick")
+    # Each run() call gets a fresh max_events budget, independent of the
+    # cumulative event_count (documented per-call semantics).
+    sim.run(until=20.0, max_events=60)
+    first = sim.event_count
+    assert first > 30
+    sim.run(until=40.0, max_events=60)  # would raise if budget were global
+    assert sim.event_count > first
+    with pytest.raises(SimulationError):
+        sim.run(until=10_000.0, max_events=30)
