@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full bench-smoke examples figures clean
+.PHONY: install test test-fast bench bench-full bench-smoke campaign-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -27,6 +27,14 @@ bench-smoke:
 	$(PYTHON) -m pytest tests/ -q
 	$(PYTHON) -m pytest benchmarks/test_kernel_events_per_sec.py -q
 	@cat bench_results/kernel.json
+
+# Small seeded fault-injection campaign: crashes, partitions, token
+# drops and loss swaps against accelerated and original-Ring configs;
+# exits non-zero (leaving repro files in bench_results/campaigns/) on
+# any EVS violation.  This is what CI runs.
+campaign-smoke:
+	$(PYTHON) -m repro.cli campaign --seed 1 --scenarios 4 --quiet
+	@ls bench_results/campaigns/
 
 figures:
 	$(PYTHON) -m repro.cli all

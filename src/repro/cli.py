@@ -5,6 +5,11 @@ Run a figure sweep without pytest::
     python -m repro.cli fig1            # print the figure table
     python -m repro.cli fig7 --full     # denser sweep
     python -m repro.cli list            # available experiments
+
+Run a fault-injection campaign (seeded, deterministic)::
+
+    python -m repro.cli campaign --seed 1 --scenarios 50
+    python -m repro.cli campaign --seed 1 --scenarios 2 --selftest-violation
 """
 
 from __future__ import annotations
@@ -48,6 +53,36 @@ def run_figure_by_id(
     return [figure.to_markdown()]
 
 
+def run_campaign_command(args) -> int:
+    """The ``campaign`` experiment: seeded fault-injection sweep."""
+    from .sim.campaign import (
+        CampaignOptions,
+        corrupt_first_log,
+        run_campaign,
+    )
+
+    options = CampaignOptions(
+        seed=args.seed,
+        scenarios=args.scenarios,
+        n_nodes=args.nodes,
+        out_dir=args.out_dir,
+        corrupt_logs=corrupt_first_log if args.selftest_violation else None,
+    )
+    progress = None if args.quiet else (
+        lambda line: print("  " + line, file=sys.stderr)
+    )
+    summary = run_campaign(options, progress=progress)
+    print("campaign seed=%d: %d scenario(s) x windows %s, %d failure(s)"
+          % (summary["seed"], summary["scenarios"],
+             summary["windows"], summary["failures"]))
+    print("summary: %s" % summary["summary_path"])
+    for scenario in summary["results"]:
+        for run in scenario["runs"]:
+            if run["repro"]:
+                print("repro:   %s" % run["repro"])
+    return 1 if summary["failures"] else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
@@ -56,7 +91,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig1), 'all', or 'list'",
+        help="experiment id (e.g. fig1), 'all', 'list', or 'campaign'",
     )
     parser.add_argument(
         "--full", action="store_true",
@@ -71,8 +106,36 @@ def main(argv: Optional[List[str]] = None) -> int:
              "or serial); sweep points are independent simulations, so "
              "results are identical at any worker count",
     )
+    campaign_group = parser.add_argument_group(
+        "campaign options (experiment 'campaign')"
+    )
+    campaign_group.add_argument(
+        "--seed", type=int, default=1,
+        help="campaign seed; schedules, loss and workload all derive "
+             "from it (default: 1)",
+    )
+    campaign_group.add_argument(
+        "--scenarios", type=int, default=10,
+        help="number of random fault scenarios (default: 10)",
+    )
+    campaign_group.add_argument(
+        "--nodes", type=int, default=3,
+        help="cluster size per scenario (default: 3)",
+    )
+    campaign_group.add_argument(
+        "--out-dir", default=os.path.join("bench_results", "campaigns"),
+        help="where summaries and repro files land",
+    )
+    campaign_group.add_argument(
+        "--selftest-violation", action="store_true",
+        help="deterministically corrupt one log before checking, to "
+             "prove the checker catches ordering violations and emits "
+             "a shrunk repro",
+    )
     args = parser.parse_args(argv)
 
+    if args.experiment == "campaign":
+        return run_campaign_command(args)
     if args.experiment == "list":
         for figure_id in _available():
             print(figure_id)

@@ -140,6 +140,37 @@ class Participant:
         self._pending.clear()
         return drained
 
+    def rebind_ring(self, ring: Ring) -> None:
+        """Install a new ring after a membership change.
+
+        Resets every piece of per-ring protocol state (receive buffer,
+        delivery frontier, retransmission horizon, priority trigger, hop
+        counters) exactly as a fresh participant would start, while
+        keeping what survives a configuration change: the application
+        backlog (un-sent messages carry over), cumulative stats, and the
+        event hub.  The priority tracker is re-seeded with the NEW ring's
+        geometry — size, predecessor, and our index all change with the
+        membership, and the trigger arithmetic must follow.
+        """
+        if self.pid not in ring:
+            raise TokenError(
+                "participant %r not on new ring %r" % (self.pid, ring.members)
+            )
+        self.ring = ring
+        self._buffer = ReceiveBuffer()
+        self._delivery = DeliveryEngine()
+        self._retransmit = RetransmitTracker()
+        self._priority.reset(
+            len(ring),
+            ring.predecessor(self.pid),
+            ring_index=ring.index_of(self.pid),
+        )
+        self._accelerated_window = self.config.accelerated_window
+        self._last_received_hop = -1
+        self._sent_last_round = 0
+        self._last_token_sent = None
+        self._max_round_seen = 0
+
     # ------------------------------------------------------------------
     # Observable protocol state
     # ------------------------------------------------------------------

@@ -80,7 +80,17 @@ class PriorityTracker:
         if self._method is PriorityMethod.AGGRESSIVE or message.sent_after_token:
             self._token_high = True
 
-    def reset(self) -> None:
-        """After a membership change: back to the round-one state."""
-        self._last_handled_hop = self._ring_index + 1 - self._ring_size
+    def reset(self, ring_size: int, predecessor: int, ring_index: int = 0) -> None:
+        """After a membership change: back to the round-one state.
+
+        The new ring's geometry must be supplied: reusing the pre-change
+        ``ring_size``/``predecessor``/``ring_index`` would key the trigger
+        arithmetic on the *old* predecessor and hop spacing, so the token
+        priority could be raised by the wrong participant's messages (or
+        never raised at all) after a reconfiguration.
+        """
+        self._ring_size = ring_size
+        self._predecessor = predecessor
+        self._ring_index = ring_index
+        self._last_handled_hop = ring_index + 1 - ring_size
         self._token_high = False

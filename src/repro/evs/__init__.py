@@ -6,9 +6,10 @@ from .configuration import (
     Configuration,
     ConfigurationKind,
 )
+from .checker import EVSChecker
 from .semantics import EVSViolation, check_all, check_virtual_synchrony
 
 __all__ = [
     "Configuration", "ConfigurationKind", "ConfigChange", "AppMessage",
-    "EVSViolation", "check_all", "check_virtual_synchrony",
+    "EVSViolation", "EVSChecker", "check_all", "check_virtual_synchrony",
 ]

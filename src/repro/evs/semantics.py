@@ -143,6 +143,87 @@ def check_virtual_synchrony(
                     )
 
 
+def check_agreed_gap_free(log: Sequence[Event]) -> None:
+    """Regular-configuration delivery is a gap-free prefix from seq 1.
+
+    Every ring starts its sequence space at 1, and agreed delivery only
+    advances contiguously; recovered old-ring messages that cannot be
+    delivered gap-free are demoted to the transitional configuration.
+    A hole inside a regular segment therefore means ordered messages
+    were silently skipped.
+    """
+    for config, messages in _segments(log):
+        if not config.is_regular or not messages:
+            continue
+        seqs = [m.seq for m in messages]
+        expected = list(range(1, len(seqs) + 1))
+        if seqs != expected:
+            raise EVSViolation(
+                "regular configuration %r delivered non-contiguous seqs %r"
+                % (config, seqs)
+            )
+
+
+def check_transitional_sandwich(log: Sequence[Event]) -> None:
+    """Transitional configurations sit between the right regulars.
+
+    A transitional configuration must (a) directly follow a regular
+    configuration with the SAME ring id whose membership contains the
+    transitional members, and (b) be directly followed by a regular
+    configuration that also contains them — the EVS sandwich that scopes
+    the weakened guarantees.  The first configuration of a log must be
+    regular (processes boot into a singleton regular configuration).
+    """
+    segments = _segments(log)
+    if not segments:
+        return
+    first_config = segments[0][0]
+    if not first_config.is_regular:
+        raise EVSViolation(
+            "log begins with non-regular configuration %r" % (first_config,)
+        )
+    for index, (config, _messages) in enumerate(segments):
+        if config.is_regular:
+            continue
+        if index == 0:
+            raise EVSViolation(
+                "transitional configuration %r with no preceding regular"
+                % (config,)
+            )
+        previous = segments[index - 1][0]
+        if not previous.is_regular:
+            raise EVSViolation(
+                "transitional configuration %r follows non-regular %r"
+                % (config, previous)
+            )
+        if previous.ring_id != config.ring_id:
+            raise EVSViolation(
+                "transitional configuration %r does not share the preceding "
+                "regular configuration's ring id (%r)" % (config, previous)
+            )
+        if not set(config.members) <= set(previous.members):
+            raise EVSViolation(
+                "transitional members %r not a subset of old regular %r"
+                % (config.members, previous.members)
+            )
+        if index + 1 >= len(segments):
+            raise EVSViolation(
+                "transitional configuration %r is not followed by a regular "
+                "configuration" % (config,)
+            )
+        following = segments[index + 1][0]
+        if not following.is_regular:
+            raise EVSViolation(
+                "transitional configuration %r followed by non-regular %r"
+                % (config, following)
+            )
+        if not set(config.members) <= set(following.members):
+            raise EVSViolation(
+                "transitional members %r not a subset of new regular %r"
+                % (config.members, following.members)
+            )
+
+
 def check_no_duplicates(log: Sequence[Event]) -> None:
     """No (ring_id, seq) is ever delivered twice."""
     seen = set()
@@ -161,5 +242,7 @@ def check_all(logs: Dict[int, Sequence[Event]]) -> None:
         check_messages_within_configuration(log)
         check_seq_order_within_configuration(log)
         check_transitional_placement(log)
+        check_agreed_gap_free(log)
+        check_transitional_sandwich(log)
         check_no_duplicates(log)
     check_virtual_synchrony(logs)

@@ -14,6 +14,7 @@ from collections import deque
 from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Set
 
 from ..core import ProtocolConfig, Service
+from ..evs import EVSChecker
 from ..membership import EVSProcess, MembershipTimeouts, Outgoing, State
 
 
@@ -167,6 +168,19 @@ class EVSNetwork:
                 queue = {"ctrl": self._ctrl, "token": self._token,
                          "data": self._data}[queue_name]
                 queue[dst].append((src, out.payload))
+
+    # -- invariant checking -------------------------------------------------------
+
+    def logs(self) -> Dict[int, List]:
+        """Every process's app_log (crashed included — their delivered
+        prefix must still be consistent with the survivors')."""
+        return {pid: process.app_log for pid, process in self.processes.items()}
+
+    def check_invariants(self) -> None:
+        """Assert every EVS axiom over all processes' logs."""
+        checker = EVSChecker()
+        checker.check_logs(self.logs())
+        checker.assert_ok()
 
     # -- convergence helpers ------------------------------------------------------
 

@@ -129,9 +129,21 @@ class LoopbackRing:
         idle_token_rounds = 0
         hops_per_round = len(self.ring)
         last_hop_seen = -1
+        last_delivered = self._total_delivered()
         for step in range(max_steps):
             if not self.step():
                 return step
+            # A round only counts as idle if nothing was DELIVERED in it
+            # either: after a retransmission recovers a lagging
+            # participant, the token aru jumps and Safe messages need up
+            # to two further rotations (the two-rotation stability rule)
+            # before everyone's safe bound catches up.  Counting those
+            # rotations as idle parks the token with deliverable
+            # messages still pending.
+            delivered = self._total_delivered()
+            if delivered != last_delivered:
+                last_delivered = delivered
+                idle_token_rounds = 0
             if self._all_data_done():
                 current_hop = max(
                     p.last_received_hop for p in self.participants.values()
@@ -183,6 +195,9 @@ class LoopbackRing:
         return all(not q for q in self._data_inbox.values()) and all(
             not q for q in self._token_inbox.values()
         )
+
+    def _total_delivered(self) -> int:
+        return sum(len(log) for log in self.delivered.values())
 
     def _all_data_done(self) -> bool:
         return (

@@ -612,13 +612,12 @@ class EVSProcess:
         new_config = Configuration.regular(token.new_ring_id, token.members)
         self.app_log.append(ConfigChange(new_config))
 
-        # Install the new ring with a fresh ordering participant,
-        # carrying over the unsent application backlog.
-        backlog = self.participant.drain_pending()
+        # Install the new ring: per-ring protocol state is reset while
+        # the unsent application backlog (and cumulative stats) carry
+        # over.  rebind_ring also re-seeds the priority tracker with the
+        # new ring's geometry — size, predecessor and index all change.
         self.ring = Ring.of(token.members, ring_id=token.new_ring_id)
-        self.participant = Participant(self.pid, self.ring, self.config)
-        for payload, service, size, submitted_at in backlog:
-            self.participant.submit(payload, service, size, submitted_at)
+        self.participant.rebind_ring(self.ring)
         self._highest_ring_seq = max(self._highest_ring_seq, ring_id_seq(token.new_ring_id))
         self.state = State.OPERATIONAL
         self._installed = True

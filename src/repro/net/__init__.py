@@ -20,6 +20,7 @@ from .loss import (
     ReceiverLoss,
     SequenceLoss,
     TargetedLoss,
+    derive_port_loss,
     no_loss,
 )
 from .monitors import FabricMonitor, FabricSnapshot
@@ -30,7 +31,8 @@ __all__ = [
     "Simulator", "Timeout", "Signal", "Latch", "Process", "SimulationError",
     "Frame", "Traffic", "WIRE_OVERHEAD", "ETHERNET_MTU",
     "LinkSpec", "GIGABIT", "TEN_GIGABIT", "TEN_MEGABIT", "PRESETS",
-    "no_loss", "BernoulliLoss", "TargetedLoss", "SequenceLoss", "ReceiverLoss",
+    "no_loss", "derive_port_loss",
+    "BernoulliLoss", "TargetedLoss", "SequenceLoss", "ReceiverLoss",
     "PerFragmentLoss",
     "Nic", "Switch", "SwitchPort",
     "FabricMonitor", "FabricSnapshot",

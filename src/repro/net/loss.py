@@ -22,22 +22,66 @@ def no_loss(_frame: Frame) -> bool:
     return False
 
 
+def derive_port_loss(loss: LossModel, port_host: int) -> LossModel:
+    """The per-port view of a loss model for one switch egress port.
+
+    Models that expose ``for_port`` (seeded stochastic models,
+    :class:`ReceiverLoss`) return a port-specific derivation so drop
+    outcomes never depend on port iteration order; plain callables
+    (deterministic predicates) are shared as-is.
+    """
+    for_port = getattr(loss, "for_port", None)
+    if for_port is not None:
+        return for_port(port_host)
+    return loss
+
+
+def _derive_port_seed(seed: int, port_host: int) -> int:
+    """A stable per-port RNG seed, independent of port install order."""
+    return (seed * 1_000_003 + 7919 * (port_host + 1)) & 0x7FFFFFFF
+
+
 class BernoulliLoss:
-    """Drop each frame independently with probability ``p`` (seeded)."""
+    """Drop each frame independently with probability ``p`` (seeded).
+
+    One instance holds ONE RNG; installing the same instance on several
+    switch ports would make each port's drop outcomes depend on the
+    order the ports happen to consume the shared stream.  Use
+    :meth:`for_port` to derive an independently seeded per-port model
+    (drops still aggregate into this instance's ``dropped``).
+    """
 
     def __init__(self, p: float, seed: int = 0, spare_token: bool = False) -> None:
         if not 0.0 <= p <= 1.0:
             raise ValueError("loss probability must be in [0, 1], got %r" % p)
         self.p = p
+        self.seed = seed
         self.spare_token = spare_token
         self._rng = random.Random(seed)
+        self._parent: Optional["BernoulliLoss"] = None
         self.dropped = 0
+
+    def for_port(self, port_host: int) -> "BernoulliLoss":
+        """An independent per-port copy, deterministically seeded.
+
+        The derived seed depends only on (base seed, port id), so drop
+        outcomes on one port never depend on which other ports exist or
+        in what order frames hit them.
+        """
+        child = BernoulliLoss(
+            self.p, seed=_derive_port_seed(self.seed, port_host),
+            spare_token=self.spare_token,
+        )
+        child._parent = self
+        return child
 
     def __call__(self, frame: Frame) -> bool:
         if self.spare_token and frame.traffic is Traffic.TOKEN:
             return False
         if self._rng.random() < self.p:
             self.dropped += 1
+            if self._parent is not None:
+                self._parent.dropped += 1
             return True
         return False
 
@@ -75,8 +119,14 @@ class SequenceLoss:
         self.dropped = 0
 
     def __call__(self, frame: Frame) -> bool:
+        # The traffic check MUST come first: tokens also expose a ``seq``
+        # attribute, so reading the payload before checking the traffic
+        # class would miscount (and potentially drop) token frames whose
+        # seq happens to be listed.
+        if frame.traffic is not Traffic.DATA:
+            return False
         seq = getattr(frame.payload, "seq", None)
-        if seq is None or frame.traffic is not Traffic.DATA:
+        if seq is None:
             return False
         left = self._remaining.get(seq, 0)
         if left > 0:
@@ -100,19 +150,35 @@ class PerFragmentLoss:
         if not 0.0 <= p_per_fragment <= 1.0:
             raise ValueError("fragment loss probability must be in [0, 1]")
         self.p = p_per_fragment
+        self.seed = seed
         self.spare_token = spare_token
         self._rng = random.Random(seed)
+        self._parent: Optional["PerFragmentLoss"] = None
         self.dropped = 0
         self.fragments_seen = 0
+
+    def for_port(self, port_host: int) -> "PerFragmentLoss":
+        """An independent per-port copy, deterministically seeded (see
+        :meth:`BernoulliLoss.for_port`)."""
+        child = PerFragmentLoss(
+            self.p, seed=_derive_port_seed(self.seed, port_host),
+            spare_token=self.spare_token,
+        )
+        child._parent = self
+        return child
 
     def __call__(self, frame: Frame) -> bool:
         if self.spare_token and frame.traffic is Traffic.TOKEN:
             return False
         fragments = frame.fragment_count()
         self.fragments_seen += fragments
+        if self._parent is not None:
+            self._parent.fragments_seen += fragments
         for _fragment in range(fragments):
             if self._rng.random() < self.p:
                 self.dropped += 1
+                if self._parent is not None:
+                    self._parent.dropped += 1
                 return True
         return False
 

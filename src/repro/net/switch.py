@@ -16,7 +16,7 @@ an injected loss model.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict
+from typing import Callable, Deque, Dict, Iterable, List, Optional
 
 from .engine import Simulator, Timeout
 from .frames import Frame
@@ -107,9 +107,21 @@ class Switch:
         self._ports: Dict[int, SwitchPort] = {}
         #: Per-source multicast fan-out: list of enqueue methods of every
         #: *other* port, in attach order (the replication order at the
-        #: crossbar).  Built lazily, invalidated on attach.
+        #: crossbar).  Built lazily, invalidated on attach and on
+        #: partition changes (the fan-out respects port groups).
         self._fanout: Dict[int, list] = {}
+        #: host -> partition group key; None means fully connected.
+        #: Hosts absent from the mapping while a partition is active are
+        #: isolated (their group key is unique to them).
+        self._partition: Optional[Dict[int, object]] = None
+        #: Ingress fault filters (fault-injection hooks): each is a
+        #: predicate on the frame; True swallows it at the crossbar
+        #: before any replication.  Used by the fault-schedule layer for
+        #: scheduled token drops.
+        self._fault_filters: List[Callable[[Frame], bool]] = []
         self.frames_received = 0
+        self.drops_partition = 0
+        self.drops_fault = 0
 
     def attach(
         self,
@@ -143,32 +155,108 @@ class Switch:
     def host_ids(self):
         return sorted(self._ports)
 
+    # -- fault injection: partitions and ingress filters --------------------
+
+    def set_partition(self, *groups: Iterable[int]) -> None:
+        """Split the fabric into isolated port groups.
+
+        Frames only flow between ports in the same group (the moral
+        equivalent of unplugging an inter-switch trunk).  Attached hosts
+        not listed in any group are isolated.  Frames already queued on
+        an egress port have crossed the crossbar and still deliver.
+        """
+        mapping: Dict[int, object] = {}
+        for index, group in enumerate(groups):
+            for host in group:
+                mapping[host] = index
+        self._partition = mapping
+        self._fanout.clear()
+
+    def heal(self) -> None:
+        """Remove any partition: every port reaches every other again."""
+        self._partition = None
+        self._fanout.clear()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def connected(self, a: int, b: int) -> bool:
+        """True when the fabric currently forwards frames from a to b."""
+        if a == b:
+            return True
+        partition = self._partition
+        if partition is None:
+            return True
+        # Unlisted hosts are isolated: a unique per-host key.
+        group_a = partition.get(a, ("isolated", a))
+        group_b = partition.get(b, ("isolated", b))
+        return group_a == group_b
+
+    def add_fault_filter(self, predicate: Callable[[Frame], bool]) -> None:
+        """Install an ingress filter; True swallows the frame."""
+        self._fault_filters.append(predicate)
+
+    def remove_fault_filter(self, predicate: Callable[[Frame], bool]) -> None:
+        """Remove a previously installed filter (no-op if absent)."""
+        try:
+            self._fault_filters.remove(predicate)
+        except ValueError:
+            pass
+
+    def clear_fault_filters(self) -> None:
+        """Drop every ingress filter (campaign cleanup before drain)."""
+        self._fault_filters.clear()
+
     def receive(self, frame: Frame) -> None:
         """Ingress: a frame has fully arrived from a host NIC."""
         self.frames_received += 1
         self.sim.call_in(self.spec.switch_latency_s, self._forward, frame)
 
     def _forward(self, frame: Frame) -> None:
+        if self._fault_filters:
+            # Copy: a filter may detach itself when its budget runs out.
+            for predicate in tuple(self._fault_filters):
+                if predicate(frame):
+                    self.drops_fault += 1
+                    return
         if frame.dst is None:  # multicast
             src = frame.src
             fanout = self._fanout.get(src)
             if fanout is None:
-                fanout = self._fanout[src] = [
-                    port.enqueue
-                    for host_id, port in self._ports.items()
-                    if host_id != src
-                ]
+                if self._partition is None:
+                    fanout = [
+                        port.enqueue
+                        for host_id, port in self._ports.items()
+                        if host_id != src
+                    ]
+                else:
+                    fanout = [
+                        port.enqueue
+                        for host_id, port in self._ports.items()
+                        if host_id != src and self.connected(src, host_id)
+                    ]
+                self._fanout[src] = fanout
             for enqueue in fanout:
                 enqueue(frame)
         else:
             port = self._ports.get(frame.dst)
             if port is None:
                 raise ValueError("frame for unknown host %r" % (frame.dst,))
+            if not self.connected(frame.src, frame.dst):
+                self.drops_partition += 1
+                return
             port.enqueue(frame)
 
     # -- diagnostics --------------------------------------------------------
 
     def total_drops(self) -> int:
+        """Per-port drops (overflow + injected loss).
+
+        Partition and fault-filter suppressions are counted separately
+        (:attr:`drops_partition`, :attr:`drops_fault`): they model
+        disconnection, not congestion loss.
+        """
         return sum(p.drops_overflow + p.drops_injected for p in self._ports.values())
 
     def drop_report(self) -> Dict[int, Dict[str, int]]:

@@ -5,7 +5,25 @@ with single-threaded daemons on a switched 1G/10G network, with the three
 implementation cost profiles (library / daemon / Spread).
 """
 
+from .campaign import (
+    CampaignOptions,
+    ScenarioResult,
+    generate_schedule,
+    run_campaign,
+    run_scenario,
+    shrink_schedule,
+)
 from .cluster import SimCluster, SimResult, run_point
+from .faults import (
+    Crash,
+    FaultSchedule,
+    FaultScheduleError,
+    Heal,
+    LossSwap,
+    Partition,
+    Restart,
+    TokenDrop,
+)
 from .latency import LatencyRecorder, LatencySummary, summarize
 from .node import SimNode
 from .profiles import DAEMON, LIBRARY, PROFILES, SPREAD, CostProfile
@@ -16,6 +34,10 @@ __all__ = [
     "SimEVSCluster", "SimEVSNode",
     "SimCluster", "SimResult", "run_point",
     "SimNode",
+    "FaultSchedule", "FaultScheduleError",
+    "Crash", "Restart", "Partition", "Heal", "TokenDrop", "LossSwap",
+    "CampaignOptions", "ScenarioResult",
+    "generate_schedule", "run_campaign", "run_scenario", "shrink_schedule",
     "LatencyRecorder", "LatencySummary", "summarize",
     "CostProfile", "LIBRARY", "DAEMON", "SPREAD", "PROFILES",
     "RoundTracer", "RoundStats",

@@ -19,7 +19,7 @@ from ..net import (
     Switch,
     Timeout,
 )
-from ..net.loss import LossModel, no_loss
+from ..net.loss import LossModel, derive_port_loss, no_loss
 from .latency import LatencyRecorder, LatencySummary
 from .node import SimNode
 from .profiles import CostProfile
@@ -99,7 +99,7 @@ class SimCluster:
             )
         if loss is not None:
             for pid in self.ring:
-                self.switch.set_port_loss(pid, loss)
+                self.switch.set_port_loss(pid, derive_port_loss(loss, pid))
         self.monitor = FabricMonitor(
             self.sim, self.switch, [n.nic for n in self.nodes.values()]
         )

@@ -49,6 +49,8 @@ class SimEVSNode:
         self.spec = spec
         self.profile = profile
         self.payload_size = payload_size
+        self._config = config
+        self._timeouts = timeouts
         self.process = EVSProcess(pid, config, timeouts)
         self.nic = Nic(sim, pid, spec, switch.receive)
         switch.attach(pid, self._on_frame)
@@ -57,6 +59,12 @@ class SimEVSNode:
         self._data_queue: Deque[Tuple[int, Any, int]] = deque()
         self._wakeup = sim.signal("evsnode%d" % pid)
         self.crashed = False
+        #: How many times this node has been (re)started.
+        self.incarnation = 0
+        #: EVSProcess instances of previous incarnations (their app_log
+        #: still matters for EVS checking: a crashed process's delivered
+        #: prefix must be consistent with the survivors').
+        self.archived_processes: List[EVSProcess] = []
         self._cpu = sim.spawn(self._cpu_loop(), "evscpu%d" % pid)
         self._ticker = sim.spawn(self._tick_loop(), "evstick%d" % pid)
         self._route(self.process.bootstrap())
@@ -64,16 +72,56 @@ class SimEVSNode:
     # -- control -----------------------------------------------------------
 
     def crash(self) -> None:
-        """Fail-stop: the node stops processing and sending forever."""
+        """Fail-stop: the node stops processing and sending.
+
+        Pending socket queues are dropped (a crashed process loses its
+        volatile state); frames already handed to the NIC were sent
+        before the crash and still drain onto the wire.
+        """
+        if self.crashed:
+            return
         self.crashed = True
         self._cpu.interrupt()
         self._ticker.interrupt()
+        self._ctrl_queue.clear()
+        self._token_queue.clear()
+        self._data_queue.clear()
+
+    def restart(self) -> None:
+        """Boot a fresh incarnation after a crash.
+
+        The new process has total amnesia (no old-ring state, empty
+        buffers — exactly what a restarted daemon has) and floods a join
+        as a singleton; membership merges it back in.
+        """
+        if not self.crashed:
+            raise RuntimeError("node %d is not crashed" % self.pid)
+        self.crashed = False
+        self.incarnation += 1
+        self.archived_processes.append(self.process)
+        self.process = EVSProcess(self.pid, self._config, self._timeouts)
+        self._cpu = self.sim.spawn(
+            self._cpu_loop(), "evscpu%d.%d" % (self.pid, self.incarnation)
+        )
+        self._ticker = self.sim.spawn(
+            self._tick_loop(), "evstick%d.%d" % (self.pid, self.incarnation)
+        )
+        self._route(self.process.bootstrap())
 
     def submit(self, payload: Any, service: Service = Service.AGREED) -> None:
         self.process.submit(payload, service, self.payload_size)
 
     def delivered_payloads(self) -> List[Any]:
         return [m.payload for m in self.process.delivered_messages()]
+
+    def incarnation_logs(self) -> List[Tuple[int, List[Any]]]:
+        """Every incarnation's app_log, oldest first, with its index."""
+        logs = [
+            (index, process.app_log)
+            for index, process in enumerate(self.archived_processes)
+        ]
+        logs.append((self.incarnation, self.process.app_log))
+        return logs
 
     @property
     def state(self) -> State:
@@ -182,16 +230,61 @@ class SimEVSCluster:
     def live_nodes(self) -> List[SimEVSNode]:
         return [n for n in self.nodes.values() if not n.crashed]
 
+    # -- fault controls -----------------------------------------------------
+
+    def crash(self, pid: int) -> None:
+        self.nodes[pid].crash()
+
+    def restart(self, pid: int) -> None:
+        self.nodes[pid].restart()
+
+    def set_partition(self, *groups) -> None:
+        """Partition the switch into port groups (see Switch.set_partition)."""
+        self.switch.set_partition(*groups)
+
+    def heal(self) -> None:
+        self.switch.heal()
+
+    def logs(self) -> Dict[Tuple[int, int], List[Any]]:
+        """Every (pid, incarnation) app_log — checker input."""
+        collected: Dict[Tuple[int, int], List[Any]] = {}
+        for pid, node in self.nodes.items():
+            for incarnation, log in node.incarnation_logs():
+                collected[(pid, incarnation)] = log
+        return collected
+
+    # -- convergence --------------------------------------------------------
+
     def converged(self) -> bool:
         live = self.live_nodes()
         if not live:
             return True
-        expected = tuple(sorted(n.pid for n in live))
-        return all(
-            n.state is State.OPERATIONAL
-            and tuple(n.process.ring.members) == expected
-            for n in live
-        )
+        if self.switch.partitioned:
+            # Per-component convergence: every connected component of
+            # live nodes must share one operational ring of exactly its
+            # members.
+            groups: Dict[object, List[SimEVSNode]] = {}
+            for node in live:
+                for key, members in groups.items():
+                    if self.switch.connected(members[0].pid, node.pid):
+                        members.append(node)
+                        break
+                else:
+                    groups[node.pid] = [node]
+            components = list(groups.values())
+        else:
+            components = [live]
+        for component in components:
+            expected = tuple(sorted(n.pid for n in component))
+            if not all(
+                n.state is State.OPERATIONAL
+                and tuple(n.process.ring.members) == expected
+                for n in component
+            ):
+                return False
+            if len({n.process.ring.ring_id for n in component}) != 1:
+                return False
+        return True
 
     def run_until_converged(self, timeout_s: float = 5.0, step_s: float = 0.01) -> float:
         """Run until all live nodes share one operational ring.

@@ -1,0 +1,259 @@
+"""Deterministic fault-injection schedules for the packet-level sim.
+
+A :class:`FaultSchedule` is a declarative, serializable list of timed
+fault events — crash/restart, partition/heal, scheduled token drops,
+loss-model swaps — executed *by the discrete-event engine itself*
+(each event is a ``call_at`` callback), so a faulty run is exactly as
+seed-reproducible as a clean one.  This is what lets the campaign
+runner (:mod:`repro.sim.campaign`) shrink a failing scenario to a
+minimal schedule and emit a byte-stable repro file.
+
+The schedule operates on a :class:`~repro.sim.evs_node.SimEVSCluster`
+(or anything exposing ``sim``, ``switch``, ``crash``, ``restart``,
+``set_partition`` and ``heal``), keeping the DSL decoupled from the
+cluster construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..net import Traffic
+from ..net.loss import (
+    BernoulliLoss,
+    PerFragmentLoss,
+    derive_port_loss,
+    no_loss,
+)
+
+
+class FaultScheduleError(ValueError):
+    """A malformed fault event or schedule."""
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Fail-stop ``pid`` at ``at_s`` (idempotent if already down)."""
+
+    at_s: float
+    pid: int
+
+
+@dataclass(frozen=True)
+class Restart:
+    """Boot a fresh incarnation of ``pid`` (no-op unless crashed)."""
+
+    at_s: float
+    pid: int
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Split the switch into isolated port groups at ``at_s``.
+
+    Hosts not listed in any group become isolated singletons.
+    """
+
+    at_s: float
+    groups: Tuple[Tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class Heal:
+    """Remove any partition at ``at_s``."""
+
+    at_s: float
+
+
+@dataclass(frozen=True)
+class TokenDrop:
+    """Swallow the next ``count`` token frames at the crossbar.
+
+    Exercises Totem's token-loss machinery (retransmit timers first,
+    then membership's token-loss timeout) without touching data frames.
+    """
+
+    at_s: float
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class LossSwap:
+    """Install a new loss model on switch egress ports at ``at_s``.
+
+    ``model`` is ``"bernoulli"``, ``"fragment"`` or ``"none"``; the
+    stochastic models are derived per port (seeded per port id) so the
+    swap is deterministic regardless of port iteration order.  ``pids``
+    limits the swap to specific ports (None means every port).
+    """
+
+    at_s: float
+    model: str = "bernoulli"
+    p: float = 0.01
+    seed: int = 0
+    spare_token: bool = True
+    pids: Optional[Tuple[int, ...]] = None
+
+
+FaultEvent = Any  # union of the event dataclasses above
+
+_EVENT_KINDS = {
+    "crash": Crash,
+    "restart": Restart,
+    "partition": Partition,
+    "heal": Heal,
+    "token_drop": TokenDrop,
+    "loss_swap": LossSwap,
+}
+_KIND_OF = {cls: kind for kind, cls in _EVENT_KINDS.items()}
+
+
+class _TokenDropFilter:
+    """Ingress filter swallowing the next N token frames, then detaching."""
+
+    def __init__(self, switch, count: int) -> None:
+        self._switch = switch
+        self.remaining = count
+
+    def __call__(self, frame) -> bool:
+        if frame.traffic is not Traffic.TOKEN or self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self._switch.remove_fault_filter(self)
+        return True
+
+
+def _build_loss(event: LossSwap):
+    if event.model == "none":
+        return None
+    if event.model == "bernoulli":
+        return BernoulliLoss(event.p, seed=event.seed,
+                             spare_token=event.spare_token)
+    if event.model == "fragment":
+        return PerFragmentLoss(event.p, seed=event.seed,
+                               spare_token=event.spare_token)
+    raise FaultScheduleError("unknown loss model %r" % (event.model,))
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered, serializable set of timed fault events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if event.at_s < 0:
+                raise FaultScheduleError("event before t=0: %r" % (event,))
+        # Stable sort: ties keep authoring order, so execution order is
+        # part of the schedule's identity (and of its serialization).
+        self.events = sorted(self.events, key=lambda e: e.at_s)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        if event.at_s < 0:
+            raise FaultScheduleError("event before t=0: %r" % (event,))
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.at_s)
+        return self
+
+    def without(self, index: int) -> "FaultSchedule":
+        """A copy with the index-th event removed (shrinking primitive)."""
+        return FaultSchedule(
+            [e for i, e in enumerate(self.events) if i != index]
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def install(self, cluster, base_time_s: Optional[float] = None) -> None:
+        """Register every event with the cluster's event engine.
+
+        Event times are relative to ``base_time_s`` (default: the
+        simulator's current time), so a schedule authored as "faults
+        start at t=0" composes with any amount of warm-up.
+        """
+        base = cluster.sim.now if base_time_s is None else base_time_s
+        for event in self.events:
+            cluster.sim.call_at(base + event.at_s, self._apply, event, cluster)
+
+    @staticmethod
+    def _apply(event: FaultEvent, cluster) -> None:
+        kind = type(event)
+        if kind is Crash:
+            cluster.crash(event.pid)
+        elif kind is Restart:
+            if cluster.nodes[event.pid].crashed:
+                cluster.restart(event.pid)
+        elif kind is Partition:
+            cluster.set_partition(*event.groups)
+        elif kind is Heal:
+            cluster.heal()
+        elif kind is TokenDrop:
+            cluster.switch.add_fault_filter(
+                _TokenDropFilter(cluster.switch, event.count)
+            )
+        elif kind is LossSwap:
+            model = _build_loss(event)
+            pids = event.pids if event.pids is not None \
+                else tuple(cluster.switch.host_ids)
+            for pid in pids:
+                if model is None:
+                    cluster.switch.set_port_loss(pid, no_loss)
+                else:
+                    cluster.switch.set_port_loss(
+                        pid, derive_port_loss(model, pid)
+                    )
+        else:
+            raise FaultScheduleError("unknown fault event %r" % (event,))
+
+    # -- serialization ------------------------------------------------------
+
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        """Plain-JSON event list (stable field order via sorted keys)."""
+        out: List[Dict[str, Any]] = []
+        for event in self.events:
+            entry: Dict[str, Any] = {"kind": _KIND_OF[type(event)]}
+            for name in event.__dataclass_fields__:
+                value = getattr(event, name)
+                if isinstance(value, tuple):
+                    value = [
+                        list(v) if isinstance(v, tuple) else v for v in value
+                    ]
+                entry[name] = value
+            out.append(entry)
+        return out
+
+    @classmethod
+    def from_jsonable(cls, data: Sequence[Dict[str, Any]]) -> "FaultSchedule":
+        events: List[FaultEvent] = []
+        for entry in data:
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            event_cls = _EVENT_KINDS.get(kind)
+            if event_cls is None:
+                raise FaultScheduleError("unknown event kind %r" % (kind,))
+            if event_cls is Partition:
+                entry["groups"] = tuple(
+                    tuple(group) for group in entry["groups"]
+                )
+            if event_cls is LossSwap and entry.get("pids") is not None:
+                entry["pids"] = tuple(entry["pids"])
+            events.append(event_cls(**entry))
+        return cls(events)
+
+    def describe(self) -> List[str]:
+        """One human-readable line per event (repro-file commentary)."""
+        lines = []
+        for event in self.events:
+            kind = _KIND_OF[type(event)]
+            detail = {
+                name: getattr(event, name)
+                for name in event.__dataclass_fields__
+                if name != "at_s"
+            }
+            lines.append("t=%.4fs %s %s" % (event.at_s, kind, detail))
+        return lines

@@ -64,6 +64,50 @@ def test_stale_requests_for_stable_messages_dropped():
     assert answered == [] and remaining == []
 
 
+def test_stale_request_does_not_strand_lagging_participant():
+    # Dropping a request for seq <= discarded_upto is safe ONLY because
+    # discard models stability: a message is discarded once every
+    # participant holds it, so a laggard that still NEEDS seq 2 keeps
+    # the global aru at 1 and nobody discards past it.  This test pins
+    # the two halves of that argument: a participant that has discarded
+    # the message drops the request without re-propagating it, while
+    # any participant that still buffers it answers — the laggard is
+    # never stranded waiting on a request nobody serves.
+    discarder = RetransmitTracker()
+    holder = RetransmitTracker()
+    discarder_buffer = ReceiveBuffer()
+    holder_buffer = ReceiveBuffer()
+    for seq in (1, 2, 3):
+        discarder_buffer.insert(msg(seq=seq))
+        holder_buffer.insert(msg(seq=seq))
+    discarder_buffer.discard_upto(3)
+
+    token = Token(rtr=(2,))
+    answered, remaining = discarder.answer_requests(token, discarder_buffer)
+    assert answered == [] and remaining == []
+    assert discarder.requests_answered == 0
+
+    answered, remaining = holder.answer_requests(token, holder_buffer)
+    assert [m.seq for m in answered] == [2] and remaining == []
+    assert holder.requests_answered == 1
+
+
+def test_stale_and_live_requests_mixed_on_one_token():
+    # One token can carry a stale request (already stable here) next to
+    # a live one: the stale seq vanishes, the live one is answered or
+    # passed on — it must never be confused with the stale one.
+    tracker = RetransmitTracker()
+    buffer = ReceiveBuffer()
+    for seq in (1, 2, 4):
+        buffer.insert(msg(seq=seq))
+    buffer.discard_upto(2)
+    token = Token(rtr=(1, 3, 4))
+    answered, remaining = tracker.answer_requests(token, buffer)
+    assert [m.seq for m in answered] == [4]  # still buffered: answered
+    assert remaining == [3]                  # a real gap: propagated
+    assert tracker.merge_requests(remaining, []) == (3,)
+
+
 def test_merge_requests_dedupes_and_sorts():
     tracker = RetransmitTracker()
     assert tracker.merge_requests([5, 3], [3, 1]) == (1, 3, 5)
@@ -156,8 +200,40 @@ def test_reset_restores_initial_state():
     tracker = make_tracker(PriorityMethod.CONSERVATIVE, ring_size=4,
                            predecessor=2, ring_index=1)
     tracker.note_token_handled(hop=9)
-    tracker.reset()
+    tracker.reset(ring_size=4, predecessor=2, ring_index=1)
     assert not tracker.token_has_priority
     # The round-one trigger works again after reset.
     tracker.note_data_processed(msg(pid=2, round=1, post=True))
+    assert tracker.token_has_priority
+
+
+def test_reset_takes_new_ring_geometry():
+    # Membership change: the ring shrinks from 4 to 3 members, our
+    # predecessor changes from 2 to 7, and our index moves from 1 to 2.
+    # The trigger must key on the NEW predecessor and NEW hop spacing.
+    tracker = make_tracker(PriorityMethod.AGGRESSIVE, ring_size=4,
+                           predecessor=2, ring_index=1)
+    tracker.note_token_handled(hop=9)
+    tracker.reset(ring_size=3, predecessor=7, ring_index=2)
+
+    # The old predecessor's messages no longer raise priority...
+    tracker.note_data_processed(msg(pid=2, round=2, post=True))
+    assert not tracker.token_has_priority
+    # ...the new predecessor's do, at the new ring's round-one trigger
+    # hop (ring_index + 1 - ring_size + ring_size - 1 == ring_index).
+    tracker.note_data_processed(msg(pid=7, round=2, post=True))
+    assert tracker.token_has_priority
+
+
+def test_reset_geometry_trigger_arithmetic_round_one():
+    # After reset the first token handling is hop ring_index + 1; the
+    # predecessor handling preceding it is hop ring_index, so a message
+    # from an earlier round must NOT trigger while one at ring_index must.
+    tracker = make_tracker(PriorityMethod.AGGRESSIVE, ring_size=5,
+                           predecessor=4, ring_index=0)
+    tracker.note_token_handled(hop=23)
+    tracker.reset(ring_size=3, predecessor=1, ring_index=2)
+    tracker.note_data_processed(msg(pid=1, round=1))
+    assert not tracker.token_has_priority
+    tracker.note_data_processed(msg(pid=1, round=2))
     assert tracker.token_has_priority

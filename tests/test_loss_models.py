@@ -1,0 +1,113 @@
+"""Loss-model regressions: per-port RNG derivation and traffic guards."""
+
+import pytest
+
+from repro.core import Token
+from repro.net import (
+    BernoulliLoss,
+    Frame,
+    PerFragmentLoss,
+    ReceiverLoss,
+    SequenceLoss,
+    Traffic,
+    derive_port_loss,
+)
+
+
+def data_frame(seq, src=0, size=1350):
+    class _Payload:
+        def __init__(self, seq):
+            self.seq = seq
+
+    return Frame(src, None, Traffic.DATA, size, _Payload(seq))
+
+
+def token_frame(seq=5, src=0):
+    token = Token(seq=seq)
+    return Frame(src, 1, Traffic.TOKEN, token.size, token)
+
+
+# ---------------------------------------------------------------------------
+# SequenceLoss: the traffic guard must run before the payload peek
+# ---------------------------------------------------------------------------
+
+def test_sequence_loss_never_drops_tokens():
+    # Tokens expose a ``seq`` attribute too; a token whose seq is listed
+    # must be neither dropped nor counted against the drop budget.
+    loss = SequenceLoss([5], times=1)
+    assert not loss(token_frame(seq=5))
+    assert loss.dropped == 0
+    # The budget is intact: the DATA frame with seq 5 still gets dropped.
+    assert loss(data_frame(5))
+    assert loss.dropped == 1
+    # Budget exhausted: the retransmission gets through.
+    assert not loss(data_frame(5))
+
+
+def test_sequence_loss_token_does_not_consume_budget():
+    loss = SequenceLoss([7], times=2)
+    for _ in range(10):
+        assert not loss(token_frame(seq=7))
+    assert loss(data_frame(7))
+    assert loss(data_frame(7))
+    assert not loss(data_frame(7))
+    assert loss.dropped == 2
+
+
+# ---------------------------------------------------------------------------
+# Per-port derivation: outcomes independent of port iteration order
+# ---------------------------------------------------------------------------
+
+def _port_outcomes(cls, order, frames=200, **kwargs):
+    base = cls(0.3, seed=11, **kwargs)
+    models = {port: base.for_port(port) for port in order}
+    results = {port: [] for port in order}
+    for i in range(frames):
+        for port in order:
+            results[port].append(models[port](data_frame(i + 1)))
+    return base, results
+
+
+@pytest.mark.parametrize("cls", [BernoulliLoss, PerFragmentLoss])
+def test_per_port_outcomes_stable_under_port_reordering(cls):
+    _, a = _port_outcomes(cls, [1, 2, 3])
+    _, b = _port_outcomes(cls, [3, 1, 2])
+    for port in (1, 2, 3):
+        assert a[port] == b[port]
+
+
+@pytest.mark.parametrize("cls", [BernoulliLoss, PerFragmentLoss])
+def test_per_port_models_are_independent_streams(cls):
+    _, results = _port_outcomes(cls, [1, 2])
+    # Different ports see different (seeded) drop patterns.
+    assert results[1] != results[2]
+
+
+def test_shared_instance_aggregates_child_drops():
+    base, results = _port_outcomes(BernoulliLoss, [1, 2, 3])
+    total = sum(sum(r) for r in results.values())
+    assert total > 0
+    assert base.dropped == total
+
+
+def test_per_fragment_parent_counts_fragments():
+    base = PerFragmentLoss(0.0, seed=1)
+    child = base.for_port(4)
+    child(data_frame(1, size=8850))  # six fragments
+    assert base.fragments_seen == child.fragments_seen == 6
+
+
+def test_derive_port_loss_dispatch():
+    bern = BernoulliLoss(0.5, seed=3)
+    derived = derive_port_loss(bern, 2)
+    assert isinstance(derived, BernoulliLoss) and derived is not bern
+
+    recv = ReceiverLoss([1], inner=lambda frame: True)
+    port_model = derive_port_loss(recv, 1)
+    assert port_model(data_frame(1))
+    assert recv.dropped == 1
+
+    def predicate(frame):
+        return False
+
+    assert derive_port_loss(predicate, 9) is predicate

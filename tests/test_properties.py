@@ -6,7 +6,7 @@ the invariants of DESIGN.md Section 5 must hold for every combination.
 
 import random
 
-from hypothesis import given, settings, HealthCheck
+from hypothesis import example, given, settings, HealthCheck
 from hypothesis import strategies as st
 
 from repro import LoopbackRing, PriorityMethod, ProtocolConfig, Service
@@ -90,6 +90,13 @@ def test_total_order_and_stability_any_config(config, n, per_pid, safe_fraction,
     loss_seed=st.integers(min_value=0, max_value=10_000),
     loss_p=st.floats(min_value=0.0, max_value=0.25),
 )
+# Regression: a single first-transmission drop late in the run used to
+# park the LoopbackRing one token rotation short of the Safe
+# two-rotation stability rule — three participants stalled with Safe
+# messages buffered but undelivered (run()'s idle heuristic now resets
+# on delivery progress).
+@example(accel=0, method=PriorityMethod.CONSERVATIVE,
+         loss_seed=9968, loss_p=0.015625)
 def test_total_order_under_random_loss(accel, method, loss_seed, loss_p):
     pids = [1, 2, 3, 4]
     config = ProtocolConfig(accelerated_window=accel, priority_method=method)
