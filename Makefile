@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full bench-smoke campaign-smoke examples figures clean
+.PHONY: install test test-fast bench bench-full bench-smoke campaign-smoke wire-fuzz-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,12 +21,14 @@ bench:
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
-# Fast sanity pass: tier-1 tests + the kernel-throughput microbenchmark
-# (records events/sec to bench_results/kernel.json).  This is what CI runs.
+# Fast sanity pass: tier-1 tests + the kernel-throughput and codec
+# microbenchmarks (bench_results/kernel.json, codec.json).  This is
+# what CI runs.
 bench-smoke:
 	$(PYTHON) -m pytest tests/ -q
 	$(PYTHON) -m pytest benchmarks/test_kernel_events_per_sec.py -q
-	@cat bench_results/kernel.json
+	$(PYTHON) -m pytest benchmarks/test_codec_throughput.py -q
+	@cat bench_results/kernel.json bench_results/codec.json
 
 # Small seeded fault-injection campaign: crashes, partitions, token
 # drops and loss swaps against accelerated and original-Ring configs;
@@ -35,6 +37,14 @@ bench-smoke:
 campaign-smoke:
 	$(PYTHON) -m repro.cli campaign --seed 1 --scenarios 4 --quiet
 	@ls bench_results/campaigns/
+
+# Bounded fuzz pass over the wire codec: the hypothesis property suites
+# at a raised example budget, plus the live-daemon malformed-datagram
+# spray.  On failure hypothesis leaves shrunk repros in .hypothesis/,
+# which CI uploads as an artifact.  This is what CI runs.
+wire-fuzz-smoke:
+	REPRO_WIRE_EXAMPLES=200 $(PYTHON) -m pytest tests/test_wire_fuzz.py \
+		tests/test_wire_roundtrip.py tests/test_wire_codec.py -q
 
 figures:
 	$(PYTHON) -m repro.cli all

@@ -10,6 +10,13 @@ Run a fault-injection campaign (seeded, deterministic)::
 
     python -m repro.cli campaign --seed 1 --scenarios 50
     python -m repro.cli campaign --seed 1 --scenarios 2 --selftest-violation
+
+Inspect wire captures (``.rcap`` files from the sim switch tap or the
+UDP transport)::
+
+    python -m repro.cli decode bench_results/captures/sim_sample.rcap
+    python -m repro.cli decode run.rcap --summary --limit 20
+    python -m repro.cli capture-sample --out-dir bench_results/captures
 """
 
 from __future__ import annotations
@@ -83,7 +90,97 @@ def run_campaign_command(args) -> int:
     return 1 if summary["failures"] else 0
 
 
+def run_decode_command(argv: List[str]) -> int:
+    """The ``decode`` tool: render or summarize one ``.rcap`` capture."""
+    from .wire.decode import render_capture, render_summary
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli decode",
+        description="Decode a .rcap wire capture (sim or emulation).",
+    )
+    parser.add_argument("capture", help="path to the .rcap file")
+    parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show at most N records (default: all)",
+    )
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="print aggregate counts instead of per-record lines",
+    )
+    args = parser.parse_args(argv)
+    lines = (
+        render_summary(args.capture) if args.summary
+        else render_capture(args.capture, limit=args.limit)
+    )
+    for line in lines:
+        print(line)
+    return 0
+
+
+def run_capture_sample_command(argv: List[str]) -> int:
+    """Produce one small sim capture and one emulation capture.
+
+    These are the committed reference samples: the same decoder renders
+    both, proving the two worlds share one wire format.
+    """
+    import time
+
+    from .core import ProtocolConfig, Service
+    from .emulation import EmulatedRing
+    from .net import GIGABIT
+    from .sim import LIBRARY
+    from .sim.cluster import SimCluster
+    from .wire.capture import WORLD_EMULATION, WORLD_SIM, CaptureWriter
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli capture-sample",
+        description="Generate the reference sim/emulation .rcap samples.",
+    )
+    parser.add_argument(
+        "--out-dir", default=os.path.join("bench_results", "captures"),
+        help="directory for sim_sample.rcap and emu_sample.rcap",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=0.01,
+        help="simulated seconds for the sim sample (default: 0.01)",
+    )
+    args = parser.parse_args(argv)
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    sim_path = os.path.join(args.out_dir, "sim_sample.rcap")
+    config = ProtocolConfig.accelerated(personal_window=4, accelerated_window=2)
+    with CaptureWriter(
+        sim_path, WORLD_SIM,
+        label="SimCluster n=4 library 1350B agreed, seed=1",
+    ) as writer:
+        cluster = SimCluster(4, GIGABIT, LIBRARY, config, seed=1)
+        cluster.attach_capture(writer)
+        cluster.inject_at_rate(40e6, args.duration)
+        cluster.run(args.duration, 0.0, offered_bps=40e6)
+    print("wrote %s (%d records)" % (sim_path, writer.records_written))
+
+    emu_path = os.path.join(args.out_dir, "emu_sample.rcap")
+    with CaptureWriter(
+        emu_path, WORLD_EMULATION,
+        label="EmulatedRing n=3 over localhost UDP, 12 agreed messages",
+    ) as writer:
+        with EmulatedRing(3, capture=writer) as ring:
+            for pid in range(3):
+                for i in range(4):
+                    ring.submit(pid, ("sample", pid, i), Service.AGREED)
+            ring.collect_deliveries(expected_per_node=12, timeout_s=20.0)
+            time.sleep(0.05)  # let in-flight token sends reach the tap
+    print("wrote %s (%d records)" % (emu_path, writer.records_written))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "decode":
+        return run_decode_command(argv[1:])
+    if argv and argv[0] == "capture-sample":
+        return run_capture_sample_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Reproduce figures from 'Fast Total Ordering for "
@@ -91,7 +188,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig1), 'all', 'list', or 'campaign'",
+        help="experiment id (e.g. fig1), 'all', 'list', 'campaign', "
+             "'decode', or 'capture-sample'",
     )
     parser.add_argument(
         "--full", action="store_true",

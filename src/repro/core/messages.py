@@ -63,10 +63,18 @@ class DataMessage:
 
 
 #: Serialized size of a token with an empty rtr list, bytes.  Matches the
-#: order of magnitude of Totem/Spread regular tokens.
+#: order of magnitude of Totem/Spread regular tokens, and is exactly what
+#: the wire codec (:mod:`repro.wire.codec`) produces for an empty-rtr
+#: token — ``tests/test_wire_sizes.py`` fails if the two ever drift.
 TOKEN_BASE_SIZE = 72
-#: Additional bytes per retransmission request carried on the token.
+#: Additional bytes per retransmission request carried on the token
+#: (one u32 sequence number in the wire encoding).
 TOKEN_RTR_ENTRY_SIZE = 4
+#: Wire framing on a data message with a raw bytes payload: the frame
+#: header plus the fixed data body of :mod:`repro.wire.codec`.  The
+#: library cost profile charges exactly this per-message overhead, so
+#: the simulator's figure benchmarks measure real datagram sizes.
+DATA_HEADER_SIZE = 60
 
 
 @dataclass(frozen=True, slots=True)

@@ -6,6 +6,12 @@ real kernel buffers, real token acceleration — on 127.0.0.1.
 
 from .cluster import EmulatedRing
 from .node import EmulatedNode
-from .transport import PortPair, UdpTransport
+from .transport import OversizedDatagramError, PortPair, UdpTransport
 
-__all__ = ["EmulatedRing", "EmulatedNode", "UdpTransport", "PortPair"]
+__all__ = [
+    "EmulatedRing",
+    "EmulatedNode",
+    "UdpTransport",
+    "PortPair",
+    "OversizedDatagramError",
+]

@@ -6,6 +6,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from ..core import DataMessage, ProtocolConfig, Ring, Service
+from ..wire.capture import CaptureWriter
 from .node import EmulatedNode
 from .transport import SendLossRule, UdpTransport
 
@@ -18,16 +19,22 @@ class EmulatedRing:
         n_nodes: int = 4,
         config: Optional[ProtocolConfig] = None,
         loss_rule: Optional[SendLossRule] = None,
+        capture: Optional[CaptureWriter] = None,
     ) -> None:
         config = config or ProtocolConfig()
         pids = list(range(n_nodes))
         self.ring = Ring.of(pids)
         transports = {pid: UdpTransport(pid) for pid in pids}
         port_map = {pid: t.ports for pid, t in transports.items()}
+        capture_t0 = time.monotonic()
         for transport in transports.values():
             transport.set_peers(port_map)
             if loss_rule is not None:
                 transport.set_loss_rule(loss_rule)
+            if capture is not None:
+                # One shared writer, one shared epoch: records from all
+                # nodes interleave on a common send-side clock.
+                transport.set_capture(capture, capture_t0)
         self.nodes: Dict[int, EmulatedNode] = {
             pid: EmulatedNode(pid, self.ring, config, transports[pid])
             for pid in pids
@@ -89,3 +96,16 @@ class EmulatedRing:
             "nodes did not deliver %d messages in %.1fs: %r"
             % (expected_per_node, timeout_s, counts)
         )
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def drop_report(self) -> Dict[int, Dict[str, int]]:
+        """Per-node receive-side drop counters from the wire boundary."""
+        return {
+            pid: {
+                "malformed": node.transport.drops_malformed,
+                "oversize": node.transport.drops_oversize,
+                "received": node.transport.datagrams_received,
+            }
+            for pid, node in self.nodes.items()
+        }

@@ -48,6 +48,8 @@ class EmulatedNode(threading.Thread):
         self.ring = ring
         self.config = config
         self.transport = transport
+        # Outgoing data datagrams carry the configuration id on the wire.
+        transport.ring_id = ring.ring_id
         self.participant = Participant(pid, ring, config)
         #: Thread-safe application queues.
         self._submissions: "queue.Queue[Tuple[Any, Service]]" = queue.Queue()

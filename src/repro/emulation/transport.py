@@ -6,22 +6,50 @@ emulation keeps the two-socket structure but builds logical multicast
 from unicast fan-out so it runs anywhere (the paper notes Spread offers
 the same fallback where IP-multicast is unavailable).
 
-Objects are pickled; this is a localhost research harness, not a wire
-format.
+Datagrams carry the real wire format (:mod:`repro.wire.codec`): a
+versioned, CRC-protected binary encoding, not pickle.  Receiving is
+strict — a malformed, truncated or oversized datagram is counted and
+dropped, never parsed optimistically and never allowed to crash the
+node thread.
 """
 
 from __future__ import annotations
 
-import pickle
 import select
 import socket
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.messages import DataMessage, Token
+from ..wire.capture import TRAFFIC_DATA, TRAFFIC_TOKEN, CaptureWriter
+from ..wire.codec import DecodeError, EncodeError, decode_detail, encode
 
 #: Loss hook for tests: (kind, obj, dst_pid) -> True to drop the send.
 SendLossRule = Callable[[str, Any, int], bool]
 
-#: Generous datagram budget for pickled protocol objects on loopback.
+#: Largest datagram this transport will put on the wire.  Generous for
+#: loopback; a deployment would tune this to the path MTU and lean on
+#: the packing layer instead.
 MAX_DATAGRAM = 60_000
+
+#: Receive buffer: the largest payload a UDP datagram can carry at all,
+#: so the kernel can never silently truncate what we read — anything
+#: over :data:`MAX_DATAGRAM` is *our* protocol violation and is counted
+#: as an oversize drop instead.
+_RECV_BUFSIZE = 65_535
+
+
+class OversizedDatagramError(ValueError):
+    """A send-side message encoded past :data:`MAX_DATAGRAM`."""
+
+    def __init__(self, message: Any, encoded_size: int) -> None:
+        self.wire_message = message
+        self.encoded_size = encoded_size
+        super().__init__(
+            "%s encodes to %d bytes, over the %d-byte datagram limit; "
+            "shrink the payload or let the packing layer split it"
+            % (type(message).__name__, encoded_size, MAX_DATAGRAM)
+        )
 
 
 class PortPair:
@@ -49,8 +77,20 @@ class UdpTransport:
         )
         self._peers: Dict[int, PortPair] = {}
         self._loss: Optional[SendLossRule] = None
+        #: Configuration id stamped on outgoing data datagrams.
+        self.ring_id = 0
         self.datagrams_sent = 0
         self.datagrams_received = 0
+        #: Datagrams rejected by strict decoding (bad magic/version/CRC/
+        #: layout, or a message type the socket does not accept).
+        self.drops_malformed = 0
+        #: Datagrams larger than :data:`MAX_DATAGRAM` (foreign senders;
+        #: our own send side refuses to create them).
+        self.drops_oversize = 0
+        #: Last decode failure, for diagnostics (never raised).
+        self.last_decode_error: Optional[str] = None
+        self._capture: Optional[CaptureWriter] = None
+        self._capture_t0 = 0.0
 
     def set_peers(self, peers: Dict[int, PortPair]) -> None:
         self._peers = dict(peers)
@@ -58,13 +98,37 @@ class UdpTransport:
     def set_loss_rule(self, rule: Optional[SendLossRule]) -> None:
         self._loss = rule
 
+    def set_capture(self, writer: Optional[CaptureWriter],
+                    t0: Optional[float] = None) -> None:
+        """Record every send into ``writer`` (shared across nodes is fine).
+
+        Send-side capture mirrors the simulator's switch-ingress tap:
+        one record per logical multicast, not per fan-out copy.
+        """
+        self._capture = writer
+        self._capture_t0 = time.monotonic() if t0 is None else t0
+
+    @property
+    def datagrams_dropped(self) -> int:
+        """Everything received but refused: malformed plus oversized."""
+        return self.drops_malformed + self.drops_oversize
+
     # -- sending ----------------------------------------------------------
+
+    def _encode_checked(self, obj: Any) -> bytes:
+        blob = encode(obj, ring_id=self.ring_id)
+        if len(blob) > MAX_DATAGRAM:
+            raise OversizedDatagramError(obj, len(blob))
+        return blob
 
     def send_data(self, obj: Any) -> None:
         """Logical multicast: unicast the datagram to every peer."""
-        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        if len(blob) > MAX_DATAGRAM:
-            raise ValueError("datagram too large: %d bytes" % len(blob))
+        blob = self._encode_checked(obj)
+        if self._capture is not None:
+            self._capture.write(
+                time.monotonic() - self._capture_t0,
+                self.pid, None, TRAFFIC_DATA, blob,
+            )
         for pid, ports in self._peers.items():
             if pid == self.pid:
                 continue
@@ -74,7 +138,12 @@ class UdpTransport:
             self.datagrams_sent += 1
 
     def send_token(self, obj: Any, dst: int) -> None:
-        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = self._encode_checked(obj)
+        if self._capture is not None:
+            self._capture.write(
+                time.monotonic() - self._capture_t0,
+                self.pid, dst, TRAFFIC_TOKEN, blob,
+            )
         if self._loss is not None and self._loss("token", obj, dst):
             return
         ports = self._peers[dst]
@@ -83,14 +152,39 @@ class UdpTransport:
 
     # -- receiving ---------------------------------------------------------
 
-    def _drain(self, sock: socket.socket) -> List[Any]:
+    def _drain(self, sock: socket.socket, want_token: bool) -> List[Any]:
+        """Read everything pending; strict decode, count-and-drop errors.
+
+        The token socket accepts only tokens and the data socket only
+        data messages — a well-formed frame of any other type (which a
+        confused or hostile sender could aim at either port) is just as
+        much a protocol violation as a CRC mismatch, and is counted and
+        dropped rather than handed to the participant.
+        """
         received = []
+        expected = Token if want_token else DataMessage
         while True:
             try:
-                blob, _addr = sock.recvfrom(MAX_DATAGRAM + 1024)
+                blob, _addr = sock.recvfrom(_RECV_BUFSIZE)
             except BlockingIOError:
                 break
-            received.append(pickle.loads(blob))
+            if len(blob) > MAX_DATAGRAM:
+                self.drops_oversize += 1
+                continue
+            try:
+                decoded = decode_detail(blob)
+            except DecodeError as exc:
+                self.drops_malformed += 1
+                self.last_decode_error = str(exc)
+                continue
+            if type(decoded.message) is not expected:
+                self.drops_malformed += 1
+                self.last_decode_error = (
+                    "%s frame on the %s socket"
+                    % (decoded.kind, "token" if want_token else "data")
+                )
+                continue
+            received.append(decoded.message)
             self.datagrams_received += 1
         return received
 
@@ -102,11 +196,23 @@ class UdpTransport:
         data: List[Any] = []
         tokens: List[Any] = []
         if self._data_sock in readable:
-            data = self._drain(self._data_sock)
+            data = self._drain(self._data_sock, want_token=False)
         if self._token_sock in readable:
-            tokens = self._drain(self._token_sock)
+            tokens = self._drain(self._token_sock, want_token=True)
         return data, tokens
 
     def close(self) -> None:
         self._data_sock.close()
         self._token_sock.close()
+
+
+# Re-exported for callers that treat the transport as the wire boundary.
+__all__ = [
+    "MAX_DATAGRAM",
+    "OversizedDatagramError",
+    "PortPair",
+    "SendLossRule",
+    "UdpTransport",
+    "DataMessage",
+    "EncodeError",
+]

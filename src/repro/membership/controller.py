@@ -104,6 +104,10 @@ class MembershipTimeouts:
 class EVSProcess:
     """One process running ordering + membership with EVS delivery."""
 
+    #: Reconfiguration attempts without a successful install before the
+    #: singleton circuit breaker fires (see _start_gather).
+    _FRUSTRATION_LIMIT = 10
+
     def __init__(
         self,
         pid: int,
@@ -113,6 +117,18 @@ class EVSProcess:
         self.pid = pid
         self.config = config or ProtocolConfig()
         self.timeouts = timeouts or MembershipTimeouts()
+        # Symmetry breaker.  Identical timers across processes let
+        # concurrent membership attempts collide in perfect lockstep
+        # forever: every gather times out on the same tick, every
+        # process restarts on the same tick, and the collision repeats —
+        # a true livelock under a deterministic driver.  Totem breaks
+        # such orbits with randomized timers; we use a deterministic
+        # per-(pid, attempt) jitter instead, which keeps every scenario
+        # replayable.  The jitter must change from attempt to attempt —
+        # a fixed per-pid offset merely trades one periodic orbit for
+        # another.
+        self._attempt_counter = 0
+        self._rejitter()
         #: Application-visible events: AppMessage and ConfigChange, in order.
         self.app_log: List[Union[AppMessage, ConfigChange]] = []
 
@@ -131,7 +147,11 @@ class EVSProcess:
         self._fail_set: Set[int] = set()
         self._joins: Dict[int, Tuple[FrozenSet[int], FrozenSet[int]]] = {}
         self._gather_attempts = 0
+        self._frustration = 0
+        self._join_cooldown = 0
+        self._join_dirty = False
         self._mismatch_strikes: Dict[int, int] = {}
+        self._silence_strikes: Dict[int, int] = {}
         self._strike_snapshot: Dict[int, Tuple[FrozenSet[int], FrozenSet[int]]] = {}
 
         # Commit/recovery state.
@@ -235,20 +255,29 @@ class EVSProcess:
                 and self._ticks_since_token > self.timeouts.token_loss_ticks
             ):
                 return self._start_gather()
-            if self._state_ticks % self.timeouts.probe_interval_ticks == 0:
+            if self._state_ticks % self._probe_ticks == 0:
                 return [
                     Outgoing("ctrl", ProbeMessage(self.pid, self.ring.ring_id))
                 ]
             return []
         if self.state is State.GATHER:
-            if self._state_ticks > self.timeouts.gather_ticks:
-                return self._gather_timeout()
-            return []
+            out: List[Outgoing] = []
+            if self._join_cooldown > 0:
+                self._join_cooldown -= 1
+                if self._join_cooldown == 0 and self._join_dirty:
+                    out.extend(self._broadcast_join())
+            if self._state_ticks > self._gather_ticks:
+                out.extend(self._gather_timeout())
+            return out
         # COMMIT or RECOVER stuck: fall back to gather among the members
         # we were trying to form (minus nobody; the next gather round's
-        # timeout will fail the unresponsive ones).
-        if self._state_ticks > self.timeouts.commit_ticks:
-            return self._start_gather()
+        # timeout will fail the unresponsive ones).  The failed attempt's
+        # membership is carried into the new gather — resetting to the
+        # old ring would forget every process learned during the attempt
+        # and re-fragment the membership.
+        if self._state_ticks > self._commit_ticks:
+            attempt = set(self._commit.members) if self._commit else set()
+            return self._start_gather(extra_procs=attempt)
         return []
 
     @property
@@ -288,18 +317,58 @@ class EVSProcess:
     # Gather
     # ------------------------------------------------------------------
 
+    def _rejitter(self) -> None:
+        """Re-draw the timer jitter for the next membership attempt.
+
+        A deterministic stand-in for Totem's randomized timeouts: a
+        small hash of (pid, attempt number) offsets the gather, commit
+        and probe timers, so colliding attempts drift out of phase and
+        — because the offsets differ every round — the membership race
+        cannot settle into a periodic orbit.
+        """
+        self._attempt_counter += 1
+        x = (self.pid * 2654435761 + self._attempt_counter * 40503) & 0xFFFFFFFF
+        x ^= x >> 16
+        # Offsets scale with the configured timeouts (~a third of each)
+        # so tightly-tuned test configurations stay tight.
+        gather = self.timeouts.gather_ticks
+        commit = self.timeouts.commit_ticks
+        probe = self.timeouts.probe_interval_ticks
+        self._gather_ticks = gather + x % (gather // 3 + 2)
+        self._commit_ticks = commit + (x >> 5) % (commit // 3 + 2)
+        self._probe_ticks = probe + (x >> 10) % (probe // 4 + 2)
+
     def _start_gather(self, extra_procs: Optional[Set[int]] = None) -> List[Outgoing]:
         self.state = State.GATHER
+        self._rejitter()
         self._state_ticks = 0
         self._gather_attempts = 0
         self._mismatch_strikes = {}
+        self._silence_strikes = {}
         self._strike_snapshot = {}
+        self._join_cooldown = 0
+        self._join_dirty = False
         self._proc_set = set(self.ring.members) | {self.pid} | (extra_procs or set())
         self._fail_set = set()
         self._joins = {}
         self._commit = None
         self._recovery_union = {}
         self._recovery_done = set()
+        self._frustration += 1
+        if self._frustration > self._FRUSTRATION_LIMIT:
+            # Circuit breaker: this many reconfigurations without a
+            # single successful install means the membership race is
+            # churning (rival attempts displacing each other, stale
+            # fail-set gossip re-splitting the group).  Stop arguing:
+            # install a singleton ring, which always succeeds — the
+            # self-addressed commit token is handled atomically — and
+            # let Operational probes drive a calm re-merge.  The
+            # poisonous everyone-failed join is deliberately NOT
+            # broadcast; going quiet is the point.
+            self._fail_set = self._proc_set - {self.pid}
+            view = (frozenset(self._proc_set), frozenset(self._fail_set))
+            self._joins = {self.pid: view}
+            return self._check_consensus()
         return self._broadcast_join()
 
     def _broadcast_join(self) -> List[Outgoing]:
@@ -310,7 +379,28 @@ class EVSProcess:
             ring_seq=self._highest_ring_seq,
         )
         self._joins[self.pid] = (join.proc_set, join.fail_set)
+        self._join_dirty = False
+        self._join_cooldown = max(8, len(self._proc_set))
         return [Outgoing("ctrl", join)]
+
+    def _queue_join_broadcast(self) -> List[Outgoing]:
+        """Broadcast our join now, or mark it for the next cooldown expiry.
+
+        Totem floods join messages on a TIMER.  Rebroadcasting eagerly
+        on every view change amplifies each received join into n-1 new
+        ones, and under churn that melts the control plane down: the
+        join backlog grows faster than one-message-per-step processing
+        drains it, so every process reacts to an ever-older past and
+        the membership race never settles.  Batching rapid view changes
+        behind a short cooldown keeps the join rate strictly below the
+        drain rate, which is what lets gathers actually converge.
+        """
+        view = (frozenset(self._proc_set), frozenset(self._fail_set))
+        self._joins[self.pid] = view
+        if self._join_cooldown <= 0:
+            return self._broadcast_join()
+        self._join_dirty = True
+        return []
 
     def _on_probe(self, probe: ProbeMessage) -> List[Outgoing]:
         if self.state is State.OPERATIONAL:
@@ -320,7 +410,7 @@ class EVSProcess:
         if self.state is State.GATHER and probe.sender not in self._proc_set:
             self._proc_set.add(probe.sender)
             self._state_ticks = 0
-            return self._broadcast_join()
+            return self._queue_join_broadcast()
         return []
 
     def _on_join(self, join: JoinMessage) -> List[Outgoing]:
@@ -358,16 +448,25 @@ class EVSProcess:
         merged_fails.discard(join.sender)
         out: List[Outgoing] = []
         if merged_procs != self._proc_set or merged_fails != self._fail_set:
+            # The consensus clock restarts only when the membership
+            # GROWS (a new participant genuinely widens the agreement
+            # problem).  Fail-set churn must not restart it: stale fail
+            # gossip echoing between joins can flip fail sets forever,
+            # and if each flip reset the clock the gather timeout — the
+            # only source of fresh evidence (strikes, escape hatch) —
+            # would never fire.
+            if merged_procs != self._proc_set:
+                self._state_ticks = 0
             self._proc_set = merged_procs
             self._fail_set = merged_fails
-            self._state_ticks = 0
             self._joins = {
                 pid: sets
                 for pid, sets in self._joins.items()
                 if sets == (frozenset(merged_procs), frozenset(merged_fails))
             }
-            out.extend(self._broadcast_join())
+            out.extend(self._queue_join_broadcast())
         self._joins[join.sender] = (join.proc_set, join.fail_set)
+        self._silence_strikes.pop(join.sender, None)
         out.extend(self._check_consensus())
         return out
 
@@ -376,12 +475,26 @@ class EVSProcess:
         if self._gather_attempts > self.timeouts.max_gather_attempts:
             # Livelock escape: give up on agreement with the others for
             # now and proceed alone; Operational probes will trigger a
-            # fresh, calmer merge attempt afterwards.
+            # fresh, calmer merge attempt afterwards.  Like the
+            # frustration breaker, the everyone-failed view is NOT
+            # broadcast — it would only seed more stale fail gossip.
             self._fail_set = self._proc_set - {self.pid}
-            return self._broadcast_join() + self._check_consensus()
+            view = (frozenset(self._proc_set), frozenset(self._fail_set))
+            self._joins = {self.pid: view}
+            return self._check_consensus()
         self._state_ticks = 0
-        # Processes that never answered this gather are failed outright.
-        silent = self._proc_set - set(self._joins) - {self.pid} - self._fail_set
+        # Processes that never answered this gather are suspects, but a
+        # process deep in a rival COMMIT/RECOVER legitimately ignores
+        # join traffic for longer than one gather window — failing it on
+        # first silence fragments the membership and the fragments then
+        # chase each other forever.  Silence must outlast a full commit
+        # attempt (several consecutive timeouts) to count as death.
+        silent = set()
+        for pid in self._proc_set - set(self._joins) - {self.pid} - self._fail_set:
+            strikes = self._silence_strikes.get(pid, 0) + 1
+            self._silence_strikes[pid] = strikes
+            if strikes >= 3:
+                silent.add(pid)
         # Processes whose view merely LAGS ours are NOT failed on first
         # sight — proc/fail sets grow monotonically within a gather, so
         # crossing joins converge on their own; failing eager responders
@@ -623,6 +736,7 @@ class EVSProcess:
         self._installed = True
         self._ticks_since_token = 0
         self._state_ticks = 0
+        self._frustration = 0
         self._commit = None
         self._recovery_union = {}
         self._recovery_done = set()

@@ -119,6 +119,9 @@ class Switch:
         #: before any replication.  Used by the fault-schedule layer for
         #: scheduled token drops.
         self._fault_filters: List[Callable[[Frame], bool]] = []
+        #: Optional ingress observer (packet capture): sees every frame
+        #: that arrives at the crossbar, before filters and replication.
+        self._capture: Optional[Callable[[Frame], None]] = None
         self.frames_received = 0
         self.drops_partition = 0
         self.drops_fault = 0
@@ -208,9 +211,21 @@ class Switch:
         """Drop every ingress filter (campaign cleanup before drain)."""
         self._fault_filters.clear()
 
+    def set_capture(self, tap: Optional[Callable[[Frame], None]]) -> None:
+        """Install (or clear) an ingress observer.
+
+        The tap sees every frame exactly once — multicasts before
+        replication — mirroring a monitor port on the physical switch.
+        It must not mutate the frame; the wire layer's
+        :class:`repro.wire.capture.SimCaptureTap` is the standard tap.
+        """
+        self._capture = tap
+
     def receive(self, frame: Frame) -> None:
         """Ingress: a frame has fully arrived from a host NIC."""
         self.frames_received += 1
+        if self._capture is not None:
+            self._capture(frame)
         self.sim.call_in(self.spec.switch_latency_s, self._forward, frame)
 
     def _forward(self, frame: Frame) -> None:

@@ -105,6 +105,19 @@ class SimCluster:
         )
         self._injectors_started = False
 
+    # -- capture ---------------------------------------------------------------
+
+    def attach_capture(self, writer) -> None:
+        """Record every switch-ingress frame into an ``.rcap`` writer.
+
+        Accepts a :class:`repro.wire.capture.CaptureWriter`; the tap
+        encodes each frame's payload with the real wire codec, so a sim
+        capture is byte-comparable with an emulation capture.
+        """
+        from ..wire.capture import SimCaptureTap
+
+        self.switch.set_capture(SimCaptureTap(self.sim, writer))
+
     # -- workload ------------------------------------------------------------
 
     def inject_at_rate(

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..core.messages import DATA_HEADER_SIZE
+
 
 @dataclass(frozen=True)
 class CostProfile:
@@ -67,9 +69,12 @@ class CostProfile:
 
 
 #: The library-based prototype: minimal overhead, in-process delivery.
+#: Its header is exactly the repo's own wire framing — what
+#: ``repro.wire.codec`` puts around a raw-bytes data payload — so the
+#: simulated figures and a real-socket deployment share one byte model.
 LIBRARY = CostProfile(
     name="library",
-    header_bytes=60,
+    header_bytes=DATA_HEADER_SIZE,
     recv_data_cpu_s=0.80e-6,
     recv_token_cpu_s=0.80e-6,
     send_data_cpu_s=0.60e-6,

@@ -1,0 +1,112 @@
+"""Capture analyzer: render and summarize ``.rcap`` files.
+
+One decoder serves both worlds (sim switch taps and the UDP transport
+write the same record format), which makes sim-vs-emulation runs
+directly diffable::
+
+    python -m repro.cli decode bench_results/captures/sim_sample.rcap
+    python -m repro.cli decode run.rcap --summary
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from .capture import CaptureReader, MULTICAST
+from .codec import DecodeError
+
+
+def render_capture(
+    path: str,
+    limit: Optional[int] = None,
+) -> Iterator[str]:
+    """Yield human-readable lines for one capture file.
+
+    The first line is a ``#`` header describing the capture; each record
+    renders as ``timestamp  src->dst  port  bytes  message``.  Records
+    that fail strict decoding are rendered, not fatal — the analyzer's
+    job includes looking at corrupt captures.
+    """
+    reader = CaptureReader(path)
+    label = " label=%r" % reader.label if reader.label else ""
+    yield "# rcap world=%s%s file=%s" % (reader.world_name, label, path)
+    shown = 0
+    total = 0
+    for record in reader:
+        total += 1
+        if limit is not None and shown >= limit:
+            continue
+        shown += 1
+        dst = "mcast" if record.dst == MULTICAST else str(record.dst)
+        try:
+            decoded = record.decode()
+            rendered = "%s %r" % (decoded.kind, decoded.message)
+            if decoded.ring_id:
+                rendered += "  [ring %d]" % decoded.ring_id
+        except DecodeError as exc:
+            rendered = "UNDECODABLE (%s)" % exc
+        yield "%12.6f  %3s -> %-5s  %-5s  %5dB  %s" % (
+            record.timestamp, record.src, dst,
+            record.traffic_name, len(record.blob), rendered,
+        )
+    if limit is not None and total > shown:
+        yield "# ... %d further record(s) suppressed by --limit" % (total - shown)
+    if reader.truncated_tail:
+        yield "# WARNING: capture ends mid-record (writer did not close cleanly)"
+
+
+def summarize_capture(path: str) -> Dict[str, object]:
+    """Aggregate statistics for one capture file."""
+    reader = CaptureReader(path)
+    by_kind: Dict[str, int] = {}
+    bytes_by_kind: Dict[str, int] = {}
+    undecodable = 0
+    records = 0
+    first_ts: Optional[float] = None
+    last_ts: Optional[float] = None
+    wire_bytes = 0
+    for record in reader:
+        records += 1
+        wire_bytes += len(record.blob)
+        if first_ts is None:
+            first_ts = record.timestamp
+        last_ts = record.timestamp
+        try:
+            decoded = record.decode()
+        except DecodeError:
+            undecodable += 1
+            continue
+        by_kind[decoded.kind] = by_kind.get(decoded.kind, 0) + 1
+        bytes_by_kind[decoded.kind] = (
+            bytes_by_kind.get(decoded.kind, 0) + len(record.blob)
+        )
+    return {
+        "world": reader.world_name,
+        "label": reader.label,
+        "records": records,
+        "wire_bytes": wire_bytes,
+        "records_by_kind": dict(sorted(by_kind.items())),
+        "bytes_by_kind": dict(sorted(bytes_by_kind.items())),
+        "undecodable": undecodable,
+        "span_s": (last_ts - first_ts) if records else 0.0,
+        "truncated_tail": reader.truncated_tail,
+    }
+
+
+def render_summary(path: str) -> Iterator[str]:
+    """Yield the summary of one capture as readable lines."""
+    summary = summarize_capture(path)
+    yield "# rcap world=%s records=%d wire_bytes=%d span=%.6fs" % (
+        summary["world"], summary["records"],
+        summary["wire_bytes"], summary["span_s"],
+    )
+    if summary["label"]:
+        yield "# label: %s" % summary["label"]
+    for kind, count in summary["records_by_kind"].items():
+        yield "  %-18s %6d record(s)  %9d bytes" % (
+            kind, count, summary["bytes_by_kind"][kind],
+        )
+    if summary["undecodable"]:
+        yield "  %-18s %6d record(s)" % ("UNDECODABLE", summary["undecodable"])
+    if summary["truncated_tail"]:
+        yield "# WARNING: capture ends mid-record"

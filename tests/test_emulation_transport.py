@@ -89,3 +89,76 @@ def test_poll_timeout_returns_empty(pair):
     a, _b = pair
     data, tokens = a.poll(0.01)
     assert data == [] and tokens == []
+
+
+def test_oversized_error_names_type_and_size(pair):
+    from repro.emulation import OversizedDatagramError
+
+    a, _b = pair
+    huge = DataMessage(seq=1, pid=0, round=1, service=Service.AGREED,
+                       payload=b"x" * 100_000)
+    with pytest.raises(OversizedDatagramError) as excinfo:
+        a.send_data(huge)
+    assert "DataMessage" in str(excinfo.value)
+    assert str(excinfo.value.encoded_size) in str(excinfo.value)
+    assert a.datagrams_sent == 0  # nothing was put on the wire
+
+
+def test_large_valid_datagram_arrives_untruncated(pair):
+    # Close to MAX_DATAGRAM but valid: must arrive byte-for-byte (the
+    # receive buffer is sized so the kernel can never silently truncate).
+    a, b = pair
+    payload = bytes(range(256)) * 200  # 51200 bytes
+    message = DataMessage(seq=2, pid=0, round=1, service=Service.AGREED,
+                          payload=payload, payload_size=len(payload))
+    a.send_data(message)
+    data, _ = drain(b, timeout=2.0)
+    assert len(data) == 1
+    assert data[0].payload == payload
+    assert b.datagrams_dropped == 0
+
+
+def test_wire_bytes_are_codec_frames_not_pickle(pair):
+    import socket
+
+    a, _b = pair
+    sniffer = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sniffer.bind(("127.0.0.1", 0))
+    sniffer.settimeout(2.0)
+    try:
+        a.set_peers({0: a.ports, 9: PortPair(sniffer.getsockname()[1],
+                                             sniffer.getsockname()[1])})
+        a.ring_id = 5
+        a.send_data(DataMessage(seq=3, pid=0, round=1,
+                                service=Service.AGREED, payload=b"raw"))
+        blob, _addr = sniffer.recvfrom(65_535)
+    finally:
+        sniffer.close()
+    from repro.wire.codec import decode_detail
+
+    assert blob[:2] == b"AR"  # wire magic, not a pickle opcode
+    decoded = decode_detail(blob)
+    assert decoded.kind == "data"
+    assert decoded.ring_id == 5  # transport stamps its configuration id
+    assert decoded.message.payload == b"raw"
+
+
+def test_malformed_datagrams_counted_not_raised(pair):
+    import socket
+
+    a, _b = pair
+    sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        sender.sendto(b"\x00garbage", ("127.0.0.1", a.ports.data_port))
+        sender.sendto(b"", ("127.0.0.1", a.ports.token_port))
+    finally:
+        sender.close()
+    import time
+
+    deadline = time.monotonic() + 2.0
+    while time.monotonic() < deadline and a.drops_malformed < 2:
+        data, tokens = a.poll(0.05)
+        assert data == [] and tokens == []
+    assert a.drops_malformed == 2
+    assert a.datagrams_dropped == 2
+    assert a.last_decode_error

@@ -28,6 +28,25 @@ def random_partition(rng, pids):
     return [set(g) for g in groups if g]
 
 
+import pytest
+
+
+@pytest.mark.parametrize("seed,n,operations",
+                         [(239, 5, 4), (33, 5, 4), (208, 5, 5)])
+def test_pinned_livelock_schedules_converge(seed, n, operations):
+    """Regression: schedules that once livelocked the membership race.
+
+    Three distinct mechanisms, each pinned by one schedule: rival
+    commit attempts colliding in deterministic lockstep (fixed by
+    per-attempt timer jitter and the silence-strike rule), an
+    event-amplified join storm whose backlog outgrew the drain rate
+    (fixed by rate-limiting join broadcasts), and a stale fail-gossip
+    echo chamber whose view flips reset the consensus clock forever
+    (fixed by restarting the clock only on proc-set growth).
+    """
+    run_schedule(seed, n, operations)
+
+
 @settings(max_examples=12, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(
@@ -36,6 +55,10 @@ def random_partition(rng, pids):
     operations=st.integers(min_value=1, max_value=5),
 )
 def test_random_fault_schedules_preserve_evs(seed, n, operations):
+    run_schedule(seed, n, operations)
+
+
+def run_schedule(seed, n, operations):
     rng = random.Random(seed)
     pids = list(range(1, n + 1))
     net = EVSNetwork(pids)

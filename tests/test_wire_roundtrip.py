@@ -1,0 +1,228 @@
+"""Property round-trips: ``decode(encode(m)) == m`` for every wire type.
+
+Hypothesis ``builds()`` strategies cover each membership and spreadlike
+message, the token (empty through maximal rtr lists), and data messages
+with arbitrary structured payloads.  The example budget is bounded so
+tier-1 stays fast; ``make wire-fuzz-smoke`` raises it via
+``REPRO_WIRE_EXAMPLES``.
+"""
+
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Service, Token
+from repro.core.messages import DataMessage
+from repro.core.packing import PackedItem, PackedPayload
+from repro.membership.messages import (
+    CommitToken,
+    JoinMessage,
+    MemberInfo,
+    ProbeMessage,
+    RecoveryComplete,
+    RecoveryData,
+)
+from repro.spreadlike.protocol import (
+    MAX_GROUP_NAME,
+    ClientDisconnect,
+    ClientId,
+    GroupCast,
+    GroupJoin,
+    GroupLeave,
+    GroupMessage,
+    MembershipNotice,
+    PrivateCast,
+    PrivateMessage,
+)
+from repro.wire.codec import decode, decode_detail, encode, encoded_size
+
+EXAMPLES = settings(
+    max_examples=int(os.environ.get("REPRO_WIRE_EXAMPLES", "25")),
+    deadline=None,
+)
+
+u64 = st.integers(0, 2 ** 64 - 1)
+i64 = st.integers(-(2 ** 63), 2 ** 63 - 1)
+u32 = st.integers(0, 2 ** 32 - 1)
+services = st.sampled_from(list(Service))
+
+# Group names: Spread-style, 1..MAX_GROUP_NAME chars, no whitespace.
+# The boundary lengths (1 and 32) and non-ASCII names are explicit
+# examples below; the strategy also reaches them.
+group_names = st.text(
+    st.characters(blacklist_categories=("Zs", "Zl", "Zp", "Cc", "Cs")),
+    min_size=1, max_size=MAX_GROUP_NAME,
+)
+client_ids = st.builds(ClientId, daemon=u64, name=st.text(max_size=40))
+
+# Structured payload values: everything the TLV value codec supports.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2 ** 80), 2 ** 80),  # crosses the i64/bigint boundary
+    st.floats(allow_nan=False),
+    st.binary(max_size=64),
+    st.text(max_size=32),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.lists(children, max_size=4),
+        st.dictionaries(scalars, children, max_size=4),
+        st.frozensets(scalars, max_size=4),
+        st.sets(scalars, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+tokens = st.builds(
+    Token,
+    ring_id=u64, hop=u64, seq=u64, aru=u64,
+    aru_id=st.one_of(st.none(), st.integers(0, 2 ** 63 - 1)),
+    fcc=u64,
+    rtr=st.lists(u32, max_size=40).map(tuple),
+)
+
+data_messages = st.builds(
+    DataMessage,
+    seq=u64, pid=u64, round=u64,
+    service=services,
+    payload=st.one_of(st.binary(max_size=200), values),
+    payload_size=u32,
+    submitted_at=st.one_of(st.none(), st.floats(allow_nan=False)),
+    sent_after_token=st.booleans(),
+)
+
+member_infos = st.builds(
+    MemberInfo,
+    pid=u64, old_ring_id=i64, old_aru=i64, high_seq=i64,
+    old_members=st.lists(u64, max_size=8).map(tuple),
+    old_safe_bound=i64, old_delivered_upto=i64,
+)
+
+membership_messages = st.one_of(
+    st.builds(ProbeMessage, sender=u64, ring_id=u64),
+    st.builds(
+        JoinMessage,
+        sender=u64,
+        proc_set=st.frozensets(u64, max_size=16),
+        fail_set=st.frozensets(u64, max_size=16),
+        ring_seq=u64,
+    ),
+    st.builds(
+        CommitToken,
+        new_ring_id=u64,
+        members=st.lists(u64, max_size=16).map(tuple),
+        rotation=u32,
+        collected=st.lists(member_infos, max_size=8).map(tuple),
+    ),
+    st.builds(RecoveryData, sender=u64, old_ring_id=u64,
+              message=data_messages),
+    st.builds(RecoveryComplete, sender=u64, new_ring_id=u64),
+)
+
+spreadlike_payloads = st.one_of(
+    st.builds(GroupJoin, group=group_names, client=client_ids),
+    st.builds(GroupLeave, group=group_names, client=client_ids),
+    st.builds(ClientDisconnect, client=client_ids),
+    st.builds(PrivateCast, dst=client_ids, sender=client_ids, payload=values),
+    st.builds(GroupCast, groups=st.lists(group_names, max_size=4).map(tuple),
+              sender=client_ids, payload=values),
+    st.builds(GroupMessage, groups=st.lists(group_names, max_size=4).map(tuple),
+              sender=client_ids, payload=values, service=services, seq=u64),
+    st.builds(PrivateMessage, sender=client_ids, payload=values,
+              service=services, seq=u64),
+    st.builds(
+        MembershipNotice,
+        group=group_names,
+        members=st.lists(client_ids, max_size=4).map(tuple),
+        joined=st.lists(client_ids, max_size=4).map(tuple),
+        left=st.lists(client_ids, max_size=4).map(tuple),
+        seq=u64,
+    ),
+)
+
+packed_payloads = st.builds(
+    PackedPayload,
+    items=st.lists(
+        st.builds(
+            PackedItem,
+            payload=st.one_of(st.binary(max_size=64), values),
+            # Bounded so the packed total still fits the outer message's
+            # u32 payload_size field.
+            payload_size=st.integers(0, 2 ** 20),
+            submitted_at=st.one_of(st.none(), st.floats(allow_nan=False)),
+        ),
+        max_size=6,
+    ).map(tuple),
+)
+
+
+@EXAMPLES
+@given(token=tokens)
+def test_token_roundtrip(token):
+    decoded = decode_detail(encode(token))
+    assert decoded.message == token
+    assert decoded.kind == "token"
+    # Token frames are self-describing: the frame ring id is the token's.
+    assert decoded.ring_id == token.ring_id
+
+
+def test_token_rtr_extremes_roundtrip():
+    empty = Token(rtr=())
+    assert decode(encode(empty)) == empty
+    maximal = Token(rtr=tuple(range(10_000)) + (2 ** 32 - 1,))
+    assert decode(encode(maximal)) == maximal
+    assert encoded_size(maximal) == len(encode(maximal))
+
+
+@EXAMPLES
+@given(message=data_messages)
+def test_data_roundtrip(message):
+    assert decode(encode(message)) == message
+
+
+@EXAMPLES
+@given(message=membership_messages)
+def test_membership_roundtrip(message):
+    assert decode(encode(message)) == message
+
+
+@EXAMPLES
+@given(payload=spreadlike_payloads, seq=u64)
+def test_spreadlike_payload_roundtrip(payload, seq):
+    message = DataMessage(seq=seq, pid=1, round=1, service=Service.AGREED,
+                          payload=payload, payload_size=100,
+                          submitted_at=None)
+    assert decode(encode(message)) == message
+
+
+@EXAMPLES
+@given(packed=packed_payloads)
+def test_packed_payload_roundtrip(packed):
+    message = DataMessage(seq=3, pid=0, round=2, service=Service.SAFE,
+                          payload=packed, payload_size=packed.total_size,
+                          submitted_at=0.5)
+    assert decode(encode(message)) == message
+
+
+def test_group_name_boundaries_roundtrip():
+    cid = ClientId(0, "c")
+    for name in ("g",                       # minimum length
+                 "g" * MAX_GROUP_NAME,      # maximum length
+                 "π" * MAX_GROUP_NAME,      # max length, multibyte UTF-8
+                 "grp-with_punct.32"):
+        payload = GroupJoin(group=name, client=cid)
+        message = DataMessage(seq=1, pid=0, round=1, service=Service.AGREED,
+                              payload=payload, payload_size=64,
+                              submitted_at=None)
+        assert decode(encode(message)) == message
+
+
+@EXAMPLES
+@given(message=st.one_of(tokens, data_messages, membership_messages))
+def test_encoded_size_and_determinism(message):
+    blob = encode(message)
+    assert encoded_size(message) == len(blob)
+    assert encode(message) == blob
