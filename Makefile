@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full bench-smoke campaign-smoke wire-fuzz-smoke examples figures clean
+.PHONY: install test test-fast bench bench-full bench-smoke bench-guard campaign-smoke wire-fuzz-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -29,6 +29,18 @@ bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_kernel_events_per_sec.py -q
 	$(PYTHON) -m pytest benchmarks/test_codec_throughput.py -q
 	@cat bench_results/kernel.json bench_results/codec.json
+
+# Regression guard: regenerate the kernel and codec records into a
+# scratch directory and compare against the committed baselines in
+# bench_results/; any guarded metric more than 20% below its baseline
+# fails.  This is what CI runs.
+bench-guard:
+	rm -rf bench_results/fresh
+	REPRO_BENCH_RESULTS=bench_results/fresh \
+		$(PYTHON) -m pytest benchmarks/test_kernel_events_per_sec.py \
+		benchmarks/test_codec_throughput.py -q
+	$(PYTHON) -m repro.bench.guard --baseline bench_results \
+		--fresh bench_results/fresh
 
 # Small seeded fault-injection campaign: crashes, partitions, token
 # drops and loss swaps against accelerated and original-Ring configs;

@@ -37,6 +37,12 @@ from .errors import (
     RingError,
     TokenError,
 )
+from .coalesce import (
+    DEFAULT_JUMBO_BYTES,
+    JUMBO_ENTRY_BYTES,
+    JumboDatagram,
+    coalesce,
+)
 from .events import EventHub
 from .flow_control import FlowControlDecision, new_message_budget, updated_fcc
 from .messages import DataMessage, Token, initial_token
@@ -56,6 +62,7 @@ __all__ = [
     "EventHub", "FlowControlDecision", "new_message_budget", "updated_fcc",
     "AcceleratedWindowTuner", "TunerConfig",
     "PackedPayload", "PackedItem", "pack_next", "ITEM_HEADER_BYTES",
+    "JumboDatagram", "coalesce", "DEFAULT_JUMBO_BYTES", "JUMBO_ENTRY_BYTES",
     "ProtocolError", "ConfigurationError", "RingError", "TokenError",
     "DeliveryInvariantError",
 ]

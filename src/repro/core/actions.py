@@ -3,7 +3,11 @@
 The protocol core is sans-IO: handling a message returns an *ordered* list
 of actions, and the driver (simulator, real-socket emulation, or an
 in-process harness) executes them in order, attributing time/cost as it
-sees fit.  The ordering is semantically load-bearing — in particular the
+sees fit.  Actions are value objects: field-based equality and hashing
+(``unsafe_hash``) with a plain-store ``__init__`` — frozen dataclasses
+pay ~3x the construction cost via ``object.__setattr__``, and actions
+are built on the per-delivery hot path.  Nothing may mutate an action
+after construction.  The ordering is semantically load-bearing — in particular the
 position of :class:`SendToken` between the pre-token and post-token
 :class:`SendData` actions is the entire point of the Accelerated Ring
 protocol.
@@ -18,7 +22,7 @@ from .config import Service
 from .messages import DataMessage, Token
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class SendData:
     """Multicast a data message to the ring."""
 
@@ -27,7 +31,7 @@ class SendData:
     retransmission: bool = False
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class SendToken:
     """Unicast the updated token to the ring successor."""
 
@@ -35,7 +39,7 @@ class SendToken:
     dst: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Deliver:
     """Hand a message to the application, in total order."""
 
@@ -46,7 +50,7 @@ class Deliver:
         return self.message.service
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Discard:
     """All messages with seq <= ``upto`` are stable and were released."""
 

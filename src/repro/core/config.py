@@ -75,6 +75,13 @@ class ProtocolConfig:
     #: minus protocol headers).
     max_packet_payload: int = 1350
 
+    #: Coalesce the protocol packets of one flush into jumbo datagrams
+    #: up to this many bytes (:mod:`repro.core.coalesce`), amortizing
+    #: per-datagram header, CRC and syscall costs.  ``None`` (the
+    #: default) disables coalescing; drivers then send one datagram per
+    #: protocol packet, byte-for-byte as before.
+    jumbo_datagram_bytes: "int | None" = None
+
     #: Token retransmission timeout (drivers convert to their clock).
     token_retransmit_timeout_s: float = 0.005
     #: How many token retransmissions before the driver declares token
@@ -92,6 +99,10 @@ class ProtocolConfig:
             raise ConfigurationError("max_seq_gap must be >= 1")
         if self.token_retransmit_timeout_s <= 0:
             raise ConfigurationError("token_retransmit_timeout_s must be > 0")
+        if self.jumbo_datagram_bytes is not None and self.jumbo_datagram_bytes < 1:
+            raise ConfigurationError(
+                "jumbo_datagram_bytes must be >= 1 (or None to disable)"
+            )
 
     @property
     def is_accelerated(self) -> bool:

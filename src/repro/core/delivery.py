@@ -73,7 +73,10 @@ class DeliveryEngine:
         Safe message beyond the stability bound.
         """
         out: List[DataMessage] = []
-        get = buffer.get
+        # Direct read of the buffer's seq index: ``buffer.get`` is a
+        # one-line wrapper around this dict, and this loop runs twice per
+        # received message (the hit and the gap that stops it).
+        get = buffer._messages.get
         safe_bound = self._safe_bound
         next_seq = self._delivered_upto + 1
         while True:

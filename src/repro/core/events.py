@@ -30,9 +30,15 @@ class EventHub:
     def __init__(self) -> None:
         self._subscribers: DefaultDict[str, List[Subscriber]] = defaultdict(list)
         self.counts: Dict[str, int] = defaultdict(int)
+        #: True once anything has subscribed.  Hot emitters (one emit per
+        #: data message) check this and fall back to a bare counter
+        #: increment, skipping the keyword-dict build for the common
+        #: nobody-is-listening case (benchmarks, sweeps).
+        self.active = False
 
     def subscribe(self, event: str, fn: Subscriber) -> None:
         self._subscribers[event].append(fn)
+        self.active = True
 
     def emit(self, event: str, **payload: Any) -> None:
         self.counts[event] += 1

@@ -19,9 +19,15 @@ from .config import ProtocolConfig
 from .messages import Token
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class FlowControlDecision:
-    """The budget for one token handling, with per-limit visibility."""
+    """The budget for one token handling, with per-limit visibility.
+
+    A value object, immutable by convention (``unsafe_hash`` keeps the
+    field-based hash/eq of the earlier frozen declaration without
+    ``frozen``'s per-field ``object.__setattr__`` construction cost —
+    one decision is built on every token handling).
+    """
 
     allowed_new: int
     limited_by_backlog: bool

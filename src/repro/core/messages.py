@@ -17,13 +17,18 @@ from typing import Any, Optional, Tuple
 from .config import Service
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class DataMessage:
     """One application message on the ring (Section III-B).
 
-    Instances are immutable: the same object is inserted in the sender's
-    buffer, shipped on the (simulated or real) wire, and retransmitted on
-    request, so nothing may mutate it after creation.
+    Instances are immutable by convention: the same object is inserted in
+    the sender's buffer, shipped on the (simulated or real) wire, and
+    retransmitted on request, so nothing may mutate it after creation.
+    ``unsafe_hash`` keeps the field-based hash/eq a frozen dataclass would
+    generate while using the plain-store ``__init__`` — a frozen slots
+    dataclass routes every field through ``object.__setattr__`` and is
+    ~4x slower to construct, which dominated both wire decode and the
+    simulator's message-initiation path.
     """
 
     #: Position in the total order (assigned by the initiator from the token).
@@ -77,12 +82,13 @@ TOKEN_RTR_ENTRY_SIZE = 4
 DATA_HEADER_SIZE = 60
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Token:
     """The regular token (Section III-A).
 
-    Immutable: a handling produces a *new* token via :meth:`evolve`, which
-    keeps tokens safe to retransmit and to log.
+    Immutable by convention (see :class:`DataMessage` for why the class
+    is not ``frozen``): a handling produces a *new* token via
+    :meth:`evolve`, which keeps tokens safe to retransmit and to log.
     """
 
     #: Identifier of the ring (configuration) this token belongs to.

@@ -10,7 +10,7 @@ message still goes out alone, immediately.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
 from .config import Service
@@ -33,15 +33,21 @@ class PackedPayload:
     """The payload of a protocol packet carrying several app messages."""
 
     items: Tuple[PackedItem, ...]
+    #: Sum of item sizes plus per-item framing, computed once at
+    #: construction (it is read per packet on the hot path; items never
+    #: change afterwards).  Not part of the wire schema — receivers
+    #: recompute it from the decoded items.
+    total_size: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "total_size",
+            sum(item.payload_size + ITEM_HEADER_BYTES for item in self.items),
+        )
 
     def __len__(self) -> int:
         return len(self.items)
-
-    @property
-    def total_size(self) -> int:
-        return sum(
-            item.payload_size + ITEM_HEADER_BYTES for item in self.items
-        )
 
 
 def pack_next(

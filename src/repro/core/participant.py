@@ -326,14 +326,18 @@ class Participant:
 
         self._priority.note_token_handled(my_hop)
         self.stats.tokens_handled += 1
-        self.hub.emit(
-            ev.TOKEN_HANDLED,
-            pid=self.pid,
-            received=token,
-            sent=token_out,
-            new_messages=decision.allowed_new,
-            retransmissions=num_retrans,
-        )
+        hub = self.hub
+        if hub.active:
+            hub.emit(
+                ev.TOKEN_HANDLED,
+                pid=self.pid,
+                received=token,
+                sent=token_out,
+                new_messages=decision.allowed_new,
+                retransmissions=num_retrans,
+            )
+        else:
+            hub.counts[ev.TOKEN_HANDLED] += 1
         return actions
 
     # ------------------------------------------------------------------
@@ -345,24 +349,39 @@ class Participant:
         if message.round > self._max_round_seen:
             self._max_round_seen = message.round
         is_new = self._buffer.insert(message)
-        self._priority.note_data_processed(message)
+        # Inlined precheck of PriorityTracker.note_data_processed's two
+        # early exits: only the predecessor's messages (1/(n-1) of
+        # traffic) can raise token priority, and never while it is
+        # already high.
+        priority = self._priority
+        if not priority._token_high and message.pid == priority._predecessor:
+            priority.note_data_processed(message)
         stats = self.stats
-        emit = self.hub.emit
+        hub = self.hub
+        active = hub.active
+        counts = hub.counts
         if not is_new:
             stats.data_duplicates += 1
-            emit(ev.DATA_RECEIVED, pid=self.pid, message=message, new=False)
+            if active:
+                hub.emit(ev.DATA_RECEIVED, pid=self.pid, message=message, new=False)
+            else:
+                counts[ev.DATA_RECEIVED] += 1
             return []
         stats.data_received += 1
-        emit(ev.DATA_RECEIVED, pid=self.pid, message=message, new=True)
+        if active:
+            hub.emit(ev.DATA_RECEIVED, pid=self.pid, message=message, new=True)
+        else:
+            counts[ev.DATA_RECEIVED] += 1
         deliverable = self._delivery.collect_deliverable(self._buffer)
         if not deliverable:
             return []
-        actions: List[Action] = []
-        for delivered in deliverable:
-            actions.append(Deliver(delivered))
-            stats.delivered += 1
-            emit(ev.MESSAGE_DELIVERED, pid=self.pid, message=delivered)
-        return actions
+        stats.delivered += len(deliverable)
+        if active:
+            for delivered in deliverable:
+                hub.emit(ev.MESSAGE_DELIVERED, pid=self.pid, message=delivered)
+        else:
+            counts[ev.MESSAGE_DELIVERED] += len(deliverable)
+        return [Deliver(delivered) for delivered in deliverable]
 
     # ------------------------------------------------------------------
     # Internals
@@ -412,12 +431,17 @@ class Participant:
         split = len(messages) - post_count
         pre = messages[:split]
         post = [m.as_post_token() for m in messages[split:]]
+        hub = self.hub
+        active = hub.active
         for message in pre + post:
             # Our own messages are in our buffer from the moment they are
             # prepared (the loopback copy, if any, is a duplicate).
             self._buffer.insert(message)
             self.stats.messages_initiated += 1
-            self.hub.emit(ev.MESSAGE_SENT, pid=self.pid, message=message)
+            if active:
+                hub.emit(ev.MESSAGE_SENT, pid=self.pid, message=message)
+            else:
+                hub.counts[ev.MESSAGE_SENT] += 1
         return pre, post
 
     def _my_retransmission_requests(self) -> List[int]:
@@ -453,10 +477,15 @@ class Participant:
 
     def _deliver_and_discard(self) -> List[Action]:
         actions: List[Action] = []
+        hub = self.hub
+        active = hub.active
         for delivered in self._delivery.collect_deliverable(self._buffer):
             actions.append(Deliver(delivered))
             self.stats.delivered += 1
-            self.hub.emit(ev.MESSAGE_DELIVERED, pid=self.pid, message=delivered)
+            if active:
+                hub.emit(ev.MESSAGE_DELIVERED, pid=self.pid, message=delivered)
+            else:
+                hub.counts[ev.MESSAGE_DELIVERED] += 1
         discard_to = self._delivery.discardable_upto()
         released = self._buffer.discard_upto(discard_to)
         if released:

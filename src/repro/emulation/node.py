@@ -126,10 +126,23 @@ class EmulatedNode(threading.Thread):
             self._execute(participant.on_data(message))
 
     def _execute(self, actions) -> None:
+        # With coalescing configured, consecutive SendData actions are
+        # batched and flushed as jumbo datagrams; the batch also flushes
+        # before any other action so the token keeps its place after the
+        # pre-token sends (that ordering IS the acceleration).
+        jumbo_cap = self.config.jumbo_datagram_bytes
+        batch: List[DataMessage] = []
         for action in actions:
             if isinstance(action, SendData):
-                self.transport.send_data(action.message)
-            elif isinstance(action, SendToken):
+                if jumbo_cap is None:
+                    self.transport.send_data(action.message)
+                else:
+                    batch.append(action.message)
+                continue
+            if batch:
+                self.transport.send_data_batch(batch, jumbo_cap)
+                batch = []
+            if isinstance(action, SendToken):
                 if action.dst == self.pid:
                     self._pending_tokens.append(action.token)
                 else:
@@ -140,6 +153,8 @@ class EmulatedNode(threading.Thread):
                 self.delivered.put(action.message)
             elif isinstance(action, Discard):
                 pass
+        if batch:
+            self.transport.send_data_batch(batch, jumbo_cap)
 
     def _maybe_retransmit_token(self) -> None:
         participant = self.participant

@@ -20,9 +20,16 @@ import socket
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..core.coalesce import JumboDatagram, coalesce
 from ..core.messages import DataMessage, Token
 from ..wire.capture import TRAFFIC_DATA, TRAFFIC_TOKEN, CaptureWriter
-from ..wire.codec import DecodeError, EncodeError, decode_detail, encode
+from ..wire.codec import (
+    HEADER_SIZE,
+    DecodeError,
+    EncodeError,
+    decode_detail,
+    encode,
+)
 
 #: Loss hook for tests: (kind, obj, dst_pid) -> True to drop the send.
 SendLossRule = Callable[[str, Any, int], bool]
@@ -123,7 +130,34 @@ class UdpTransport:
 
     def send_data(self, obj: Any) -> None:
         """Logical multicast: unicast the datagram to every peer."""
-        blob = self._encode_checked(obj)
+        self._multicast_data(self._encode_checked(obj), obj)
+
+    def send_data_batch(self, objs, jumbo_cap: int) -> None:
+        """Multicast a burst of data messages, coalescing into jumbos.
+
+        Greedily groups the burst's datagrams under ``jumbo_cap`` (bounded
+        by :data:`MAX_DATAGRAM`); each group of two or more travels as one
+        jumbo datagram sharing a single header and CRC, while a group of
+        one is sent byte-for-byte as :meth:`send_data` would.
+        """
+        objs = list(objs)
+        if len(objs) == 1:
+            self.send_data(objs[0])
+            return
+        cap = min(jumbo_cap, MAX_DATAGRAM)
+        sized = []
+        for obj in objs:
+            blob = self._encode_checked(obj)
+            sized.append(((obj, blob), len(blob) - HEADER_SIZE))
+        for group, _size in coalesce(sized, cap, HEADER_SIZE):
+            if len(group) == 1:
+                obj, blob = group[0]
+                self._multicast_data(blob, obj)
+            else:
+                datagram = JumboDatagram(tuple(obj for obj, _ in group))
+                self._multicast_data(self._encode_checked(datagram), datagram)
+
+    def _multicast_data(self, blob: bytes, obj: Any) -> None:
         if self._capture is not None:
             self._capture.write(
                 time.monotonic() - self._capture_t0,
@@ -177,14 +211,21 @@ class UdpTransport:
                 self.drops_malformed += 1
                 self.last_decode_error = str(exc)
                 continue
-            if type(decoded.message) is not expected:
+            message = decoded.message
+            if not want_token and type(message) is JumboDatagram:
+                # The codec guarantees every inner packet is a data
+                # message, so a jumbo is acceptable wherever one is.
+                received.extend(message.messages)
+                self.datagrams_received += 1
+                continue
+            if type(message) is not expected:
                 self.drops_malformed += 1
                 self.last_decode_error = (
                     "%s frame on the %s socket"
                     % (decoded.kind, "token" if want_token else "data")
                 )
                 continue
-            received.append(decoded.message)
+            received.append(message)
             self.datagrams_received += 1
         return received
 

@@ -16,19 +16,33 @@ Performance notes
 -----------------
 The kernel is the hot loop of every benchmark: a simulated second pushes
 millions of events through :meth:`Simulator.run`, so the event path is
-tuned while keeping the *observable order identical* to a single heap:
+tuned while keeping the *observable order identical* to a single heap
+with insertion-order tie-breaking (locked in by
+``tests/test_determinism.py`` and the golden fingerprints in
+``tests/test_golden_fingerprints.py``):
 
-* Zero-delay events (process resumes, :meth:`Signal.fire`, and
-  ``call_in(0.0, ...)``) bypass the heap entirely and go to a FIFO
-  *ready queue* (a deque).  The run loop always executes the globally
-  smallest ``(time, insertion-order)`` event next, so the documented
-  deterministic tie-break order is preserved exactly (locked in by
-  ``tests/test_determinism.py``); see :class:`Simulator` for why the
-  ready queue needs no explicit insertion-order numbers.
+* Two queues back the loop: a binary heap (the calendar) for future
+  events and a FIFO *ready queue* (an array-backed deque) for events at
+  the current time.  Zero-delay events — process resumes,
+  :meth:`Signal.fire`, ``call_in(0.0, ...)`` — never touch the heap.
+* Events are dispatched **by type, not by callback**: a queue entry is
+  either a bare :class:`Process` (the overwhelmingly common timer
+  resume / zero-delay resume) or a ``(fn, args)`` pair (an arbitrary
+  scheduled callback).  The run loop branches on the entry's class, so
+  the hot path allocates *no* per-event tuples, no bound methods and no
+  argument packs: a sleeping process costs one 3-tuple on the heap and
+  one bare object reference on the ready queue.
 * :meth:`Process._step` inlines the :class:`Timeout` schedule (the single
-  most common yield) instead of going through :meth:`Simulator.call_in`.
-* The :meth:`Simulator.run` loop caches the queue, ready deque and heap
-  functions in locals.
+  most common yield) and caches ``generator.send`` at spawn time.
+* :meth:`Signal.fire` bulk-appends its waiters with ``deque.extend``.
+
+Ordering proof sketch (unchanged from the 4-tuple kernel): ready entries
+never need insertion-order numbers because when simulated time advances
+to T the ready queue is empty — every heap event at T was pushed *before*
+T's execution began, while every ready entry at T is created *during* it.
+Heap events at T therefore always run before ready events at T, and the
+ready queue's FIFO order equals creation order.  The run loop encodes
+exactly that: the heap head runs whenever its timestamp is ``<= now``.
 """
 
 from __future__ import annotations
@@ -41,20 +55,6 @@ from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tu
 
 class SimulationError(Exception):
     """Raised when the kernel is used incorrectly."""
-
-
-#: Shared argument tuple for the overwhelmingly common resume-with-None.
-_NONE_ARGS = (None,)
-
-#: Tie value carried by every ready-queue entry.  Ready entries never need
-#: real insertion-order numbers: when simulated time advances to T the
-#: ready queue is empty (its entries always sort before any later heap
-#: event), so every heap event at time T was pushed *before* T's execution
-#: began, while every ready entry at T is created *during* it.  Heap
-#: events at T therefore always precede ready events at T — exactly what a
-#: constant +inf tie expresses — and the ready queue's FIFO order equals
-#: creation order, which is what the shared counter would have recorded.
-_READY_TIE = float("inf")
 
 
 class Timeout:
@@ -93,15 +93,19 @@ class Signal:
         waiters = self._waiters
         if not waiters:
             return
-        self._waiters = []
-        # Inlined Simulator._schedule_resume: append each waiter to the
-        # ready queue; the FIFO preserves the wait order.
-        sim = self.sim
-        append = sim._ready.append
-        now = sim.now
-        args = _NONE_ARGS if value is None else (value,)
-        for process in waiters:
-            append((now, _READY_TIE, process._step, args))
+        # The ready queue preserves the wait order (FIFO); a bare Process
+        # entry means "resume with None", the overwhelmingly common case.
+        ready = self.sim._ready
+        if value is None:
+            # extend() copies the references first, so clearing in place
+            # is safe and reuses the list (one fewer allocation per fire).
+            ready.extend(waiters)
+            waiters.clear()
+        else:
+            self._waiters = []
+            append = ready.append
+            for process in waiters:
+                append((process._step, (value,)))
 
     @property
     def waiter_count(self) -> int:
@@ -136,16 +140,16 @@ class Latch(Signal):
 class Process:
     """A running generator, driven by the kernel."""
 
-    __slots__ = ("sim", "name", "_generator", "alive", "_done_latch", "_resume_args")
+    __slots__ = ("sim", "name", "_generator", "_send", "alive", "_done_latch")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str) -> None:
         self.sim = sim
         self.name = name
         self._generator = generator
+        #: Cached bound ``send`` — one attribute lookup saved per step.
+        self._send = generator.send
         self.alive = True
         self._done_latch = Latch(sim, name + ".done")
-        #: Constant argument tuple for the Timeout wake-up path.
-        self._resume_args = (self, None)
 
     @property
     def done(self) -> Latch:
@@ -156,32 +160,41 @@ class Process:
         if not self.alive:
             return
         try:
-            yielded = self._generator.send(value)
+            yielded = self._send(value)
         except StopIteration:
             self.alive = False
             self._done_latch.fire()
             return
-        cls = type(yielded)
+        cls = yielded.__class__
         if cls is Timeout:
-            # Fast path: schedule the resume directly, skipping the
-            # call_in indirection (Timeout already validated delay >= 0).
-            # The resume stays a two-hop schedule (heap event ->
-            # ready-queue _step) so the interleaving with events scheduled
-            # between now and the wake-up time is unchanged.
+            # Fast path: schedule the resume directly.  The resume stays a
+            # two-hop schedule (heap entry -> ready-queue _step) so the
+            # interleaving with events scheduled between now and the
+            # wake-up time is unchanged: popping the bare Process from the
+            # heap appends it to the ready queue, where it runs after
+            # every other heap event at the wake-up time.
             sim = self.sim
             delay = yielded.delay
             if delay:
-                heappush(
-                    sim._queue,
-                    (sim.now + delay, next(sim._tie), sim._schedule_resume,
-                     self._resume_args),
-                )
+                heappush(sim._queue, (sim.now + delay, next(sim._tie), self))
             else:
-                sim._ready.append(
-                    (sim.now, _READY_TIE, sim._schedule_resume,
-                     self._resume_args)
-                )
-        elif isinstance(yielded, Signal):
+                # Timeout(0) keeps the same two-hop shape (hop 1 is the
+                # scheduler call, hop 2 the resume) so its position among
+                # other zero-delay events is unchanged.
+                sim._ready.append((sim._schedule_resume, (self, None)))
+        elif cls is Signal:
+            # Exact-type fast path: a plain Signal never has latch memory.
+            yielded._waiters.append(self)
+        else:
+            self._yield_slow(yielded)
+
+    def _yield_slow(self, yielded: Any) -> None:
+        """Handle the rare yields: Latch, Signal/Timeout subclasses, junk.
+
+        Split out of the exact-type fast paths (shared by :meth:`_step`
+        and the inlined resume in :meth:`Simulator.run`).
+        """
+        if isinstance(yielded, Signal):
             if isinstance(yielded, Latch) and yielded.fired:
                 self.sim._schedule_resume(self, yielded.value)
             else:
@@ -203,27 +216,29 @@ class Process:
 
 
 class Simulator:
-    """The event loop: a priority queue of timestamped callbacks.
+    """The event loop: a time-ordered calendar of typed event entries.
 
     Two internal queues back the loop: a binary heap for events in the
-    future and a FIFO *ready queue* for events scheduled at the current
-    time.  Both hold ``(when, tie, fn, args)`` tuples and :meth:`run`
-    always executes the smallest ``(when, tie)`` next — so the split is
-    invisible: execution order is identical to a single heap with
-    insertion-order tie-breaking.  Heap entries draw real numbers from
-    the ``tie`` counter; ready entries carry the constant
-    :data:`_READY_TIE` (= +inf), which encodes the provable invariant
-    that at any timestamp all heap events precede all ready events (a
-    heap event at time T is always pushed before T's execution starts,
-    a ready event at T is always created during it).
+    future and a FIFO *ready queue* (array-backed deque) for events at
+    the current time.  Heap entries are ``(when, tie, entry)`` 3-tuples;
+    ready-queue entries carry no timestamp at all.  ``entry`` is either a
+    bare :class:`Process` — a timer resume (from the heap) or a pending
+    ``_step(None)`` (on the ready queue) — or a ``(fn, args)`` pair for
+    arbitrary callbacks; :meth:`run` dispatches on the entry's class.
+
+    Execution order is identical to a single heap with insertion-order
+    tie-breaking: heap ties are unique ints (so the third tuple element
+    is never compared), and at any timestamp all heap events run before
+    all ready events — a heap event at time T is always pushed before T's
+    execution starts, a ready event at T is always created during it.
     """
 
     __slots__ = ("now", "_queue", "_ready", "_tie", "_event_count")
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._queue: List[Tuple[float, int, Callable, tuple]] = []
-        self._ready: Deque[Tuple[float, int, Callable, tuple]] = deque()
+        self._queue: List[Tuple[float, int, Any]] = []
+        self._ready: Deque[Any] = deque()
         self._tie = itertools.count()
         self._event_count = 0
 
@@ -232,9 +247,9 @@ class Simulator:
     def call_in(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
         if delay > 0:
-            heappush(self._queue, (self.now + delay, next(self._tie), fn, args))
+            heappush(self._queue, (self.now + delay, next(self._tie), (fn, args)))
         elif delay == 0:
-            self._ready.append((self.now, _READY_TIE, fn, args))
+            self._ready.append((fn, args))
         else:
             raise SimulationError("cannot schedule into the past (delay=%r)" % delay)
 
@@ -243,17 +258,17 @@ class Simulator:
         self.call_in(when - self.now, fn, *args)
 
     def _schedule_resume(self, process: Process, value: Any) -> None:
-        self._ready.append((
-            self.now, _READY_TIE, process._step,
-            _NONE_ARGS if value is None else (value,),
-        ))
+        if value is None:
+            self._ready.append(process)
+        else:
+            self._ready.append((process._step, (value,)))
 
     # -- processes -------------------------------------------------------
 
     def spawn(self, generator: Generator, name: str = "process") -> Process:
         """Start a new process from a generator; it runs at the current time."""
         process = Process(self, generator, name)
-        self._schedule_resume(process, None)
+        self._ready.append(process)
         return process
 
     def signal(self, name: str = "") -> Signal:
@@ -277,39 +292,80 @@ class Simulator:
         queue = self._queue
         ready = self._ready
         pop = heappop
+        push = heappush
         popleft = ready.popleft
+        ready_append = ready.append
+        tie_next = self._tie.__next__
         limit = float("inf") if until is None else until
         count = 0
+        now = self.now
         try:
             while True:
-                # Pick the globally smallest (when, tie).  Tuples never
-                # compare past the tie (heap ties are unique ints, ready
-                # ties are +inf), so fn/args are never compared.
-                if ready:
-                    item = ready[0]
-                    if queue and queue[0] < item:
-                        item = queue[0]
-                        from_ready = False
-                    else:
-                        from_ready = True
+                # A ready entry runs unless a heap event is due at (or
+                # before) the current time — heap events at time T always
+                # precede ready events at T (see the class docstring).
+                if ready and not (queue and queue[0][0] <= now):
+                    # Drain the whole ready queue.  While draining, every
+                    # heap push lands strictly after ``now`` (Timeout and
+                    # call_in route zero delays to the ready queue), so
+                    # the heap-head check cannot become true until time
+                    # advances — one deque truth test per event replaces
+                    # the full compound check.
+                    while ready:
+                        entry = popleft()
+                        if entry.__class__ is Process:
+                            # Inlined Process._step(None) — the single
+                            # hottest event type, worth one saved Python
+                            # call per resume.  Keep in sync with _step.
+                            if entry.alive:
+                                try:
+                                    yielded = entry._send(None)
+                                except StopIteration:
+                                    entry.alive = False
+                                    entry._done_latch.fire()
+                                else:
+                                    cls = yielded.__class__
+                                    if cls is Timeout:
+                                        delay = yielded.delay
+                                        if delay:
+                                            push(queue, (now + delay,
+                                                         tie_next(), entry))
+                                        else:
+                                            ready_append(
+                                                (entry.sim._schedule_resume,
+                                                 (entry, None))
+                                            )
+                                    elif cls is Signal:
+                                        yielded._waiters.append(entry)
+                                    else:
+                                        entry._yield_slow(yielded)
+                        else:
+                            entry[0](*entry[1])
+                        count += 1
+                        if count >= max_events:
+                            raise SimulationError(
+                                "exceeded max_events=%d" % max_events
+                            )
                 elif queue:
-                    item = queue[0]
-                    from_ready = False
+                    when = queue[0][0]
+                    if when > limit:
+                        self.now = until  # type: ignore[assignment]
+                        return
+                    entry = pop(queue)[2]
+                    self.now = now = when
+                    if entry.__class__ is Process:
+                        # Timer resume: two-hop via the ready queue, so
+                        # every other heap event at this time runs first.
+                        ready.append(entry)
+                    else:
+                        entry[0](*entry[1])
+                    count += 1
+                    if count >= max_events:
+                        raise SimulationError(
+                            "exceeded max_events=%d" % max_events
+                        )
                 else:
                     break
-                when = item[0]
-                if when > limit:
-                    self.now = until  # type: ignore[assignment]
-                    return
-                if from_ready:
-                    popleft()
-                else:
-                    pop(queue)
-                self.now = when
-                item[2](*item[3])
-                count += 1
-                if count >= max_events:
-                    raise SimulationError("exceeded max_events=%d" % max_events)
             if until is not None:
                 self.now = until
         finally:

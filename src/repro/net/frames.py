@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: Ethernet + IP + UDP framing overhead added to every datagram, in bytes.
@@ -35,37 +34,48 @@ class Traffic(enum.Enum):
 _frame_ids = itertools.count()
 
 
-@dataclass(slots=True)
 class Frame:
     """One UDP datagram on the simulated network.
 
     ``size`` is the datagram size (protocol headers + payload, excluding
-    link-layer overhead); :meth:`wire_bytes` accounts for fragmentation of
+    link-layer overhead); :attr:`wire` accounts for fragmentation of
     datagrams larger than the MTU — the paper's 8850-byte experiments use
     kernel-level fragmentation across six frames, and the loss of any
     fragment loses the whole datagram.
 
-    The fragment count and wire size are fixed at construction (``size``
-    never changes once a frame is on the wire) and cached: every hop —
-    NIC, switch port, receive socket — re-reads them.
+    A plain ``__slots__`` class, not a dataclass: tens of thousands of
+    frames are built per simulated second, and the hand-written
+    ``__init__`` precomputes the fragment count and wire size once so
+    every hop — NIC, switch port, receive socket — reads a plain
+    attribute (:attr:`wire`).  ``wire_bytes()``/``fragment_count()``
+    remain as method aliases for existing callers.
     """
 
-    src: int
-    dst: Optional[int]  # None means multicast to every other port
-    traffic: Traffic
-    size: int
-    payload: Any
-    sent_at: float = 0.0
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
-    _fragments: int = field(init=False, repr=False, compare=False, default=1)
-    _wire_bytes: int = field(init=False, repr=False, compare=False, default=0)
+    __slots__ = ("src", "dst", "traffic", "size", "payload", "sent_at",
+                 "frame_id", "fragments", "wire")
 
-    def __post_init__(self) -> None:
-        fragments = -(-self.size // ETHERNET_MTU)
+    def __init__(
+        self,
+        src: int,
+        dst: Optional[int],  # None means multicast to every other port
+        traffic: Traffic,
+        size: int,
+        payload: Any,
+        sent_at: float = 0.0,
+        frame_id: Optional[int] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.traffic = traffic
+        self.size = size
+        self.payload = payload
+        self.sent_at = sent_at
+        self.frame_id = next(_frame_ids) if frame_id is None else frame_id
+        fragments = -(-size // ETHERNET_MTU)
         if fragments < 1:
             fragments = 1
-        self._fragments = fragments
-        self._wire_bytes = self.size + fragments * WIRE_OVERHEAD
+        self.fragments = fragments
+        self.wire = size + fragments * WIRE_OVERHEAD
 
     @property
     def is_multicast(self) -> bool:
@@ -73,11 +83,11 @@ class Frame:
 
     def fragment_count(self) -> int:
         """Number of Ethernet frames the datagram occupies on the wire."""
-        return self._fragments
+        return self.fragments
 
     def wire_bytes(self) -> int:
         """Total bytes on the wire including per-fragment overhead."""
-        return self._wire_bytes
+        return self.wire
 
     def __repr__(self) -> str:
         target = "mcast" if self.is_multicast else str(self.dst)

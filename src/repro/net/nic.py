@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque
 
+from heapq import heappush
+
 from .engine import Simulator, Timeout
 from .frames import Frame
 from .links import LinkSpec
@@ -33,7 +35,9 @@ class Nic:
         self._deliver_to_switch = deliver_to_switch
         self._queue: Deque[Frame] = deque()
         self._queued_bytes = 0
+        self._queue_limit = spec.nic_queue_bytes
         self._wakeup = sim.signal("nic%d.tx" % host_id)
+        self._sim_ready = sim._ready
         self.frames_sent = 0
         self.bytes_sent = 0
         self.drops_overflow = 0
@@ -48,14 +52,18 @@ class Nic:
         the equivalent of a qdisc overflow.  The protocol's flow control
         is what keeps this from happening in correct configurations.
         """
-        wire = frame.wire_bytes()
-        if self._queued_bytes + wire > self.spec.nic_queue_bytes:
+        wire = frame.wire
+        if self._queued_bytes + wire > self._queue_limit:
             self.drops_overflow += 1
             return False
         frame.sent_at = self.sim.now
         self._queue.append(frame)
         self._queued_bytes += wire
-        self._wakeup.fire()
+        # Inlined Signal.fire (value=None): one call per datagram sent.
+        waiters = self._wakeup._waiters
+        if waiters:
+            self._sim_ready.extend(waiters)
+            waiters.clear()
         return True
 
     @property
@@ -78,7 +86,10 @@ class Nic:
         wakeup = self._wakeup
         rate_bps = spec.rate_bps
         propagation_s = spec.propagation_s
-        call_in = self.sim.call_in
+        sim = self.sim
+        heap = sim._queue
+        ready = sim._ready
+        tie = sim._tie
         deliver = self._deliver_to_switch
         # Timeouts are immutable and wire sizes repeat, so the
         # serialization pauses are cached per size.
@@ -88,7 +99,7 @@ class Nic:
                 yield wakeup
                 continue
             frame = queue.popleft()
-            wire = frame.wire_bytes()
+            wire = frame.wire
             self._queued_bytes -= wire
             pause = timeouts.get(wire)
             if pause is None:
@@ -96,4 +107,10 @@ class Nic:
             yield pause
             self.frames_sent += 1
             self.bytes_sent += wire
-            call_in(propagation_s, deliver, frame)
+            # Inlined sim.call_in (one fewer Python call per frame); the
+            # branch mirrors call_in's zero-delay ready-queue fast path.
+            if propagation_s:
+                heappush(heap, (sim.now + propagation_s, next(tie),
+                                (deliver, (frame,))))
+            else:
+                ready.append((deliver, (frame,)))

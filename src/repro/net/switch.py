@@ -16,6 +16,7 @@ an injected loss model.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Callable, Deque, Dict, Iterable, List, Optional
 
 from .engine import Simulator, Timeout
@@ -42,7 +43,9 @@ class SwitchPort:
         self._loss = loss
         self._queue: Deque[Frame] = deque()
         self._queued_bytes = 0
+        self._queue_limit = spec.port_buffer_bytes
         self._wakeup = sim.signal("port%d.tx" % host_id)
+        self._sim_ready = sim._ready
         self.frames_forwarded = 0
         self.bytes_forwarded = 0
         self.drops_overflow = 0
@@ -55,15 +58,21 @@ class SwitchPort:
         if loss is not no_loss and loss(frame):
             self.drops_injected += 1
             return
-        wire = frame.wire_bytes()
-        if self._queued_bytes + wire > self.spec.port_buffer_bytes:
+        wire = frame.wire
+        queued = self._queued_bytes + wire
+        if queued > self._queue_limit:
             self.drops_overflow += 1
             return
         self._queue.append(frame)
-        self._queued_bytes += wire
-        if self._queued_bytes > self.max_queue_bytes:
-            self.max_queue_bytes = self._queued_bytes
-        self._wakeup.fire()
+        self._queued_bytes = queued
+        if queued > self.max_queue_bytes:
+            self.max_queue_bytes = queued
+        # Inlined Signal.fire (value=None): one call per frame replicated
+        # to this port.
+        waiters = self._wakeup._waiters
+        if waiters:
+            self._sim_ready.extend(waiters)
+            waiters.clear()
 
     @property
     def queued_bytes(self) -> int:
@@ -77,7 +86,10 @@ class SwitchPort:
         wakeup = self._wakeup
         rate_bps = self.spec.rate_bps
         propagation_s = self.spec.propagation_s
-        call_in = self.sim.call_in
+        sim = self.sim
+        heap = sim._queue
+        ready = sim._ready
+        tie = sim._tie
         deliver = self._deliver
         # Timeouts are immutable and wire sizes repeat, so the
         # serialization pauses are cached per size.
@@ -87,7 +99,7 @@ class SwitchPort:
                 yield wakeup
                 continue
             frame = queue.popleft()
-            wire = frame.wire_bytes()
+            wire = frame.wire
             self._queued_bytes -= wire
             pause = timeouts.get(wire)
             if pause is None:
@@ -95,7 +107,13 @@ class SwitchPort:
             yield pause
             self.frames_forwarded += 1
             self.bytes_forwarded += wire
-            call_in(propagation_s, deliver, frame)
+            # Inlined sim.call_in (one fewer Python call per frame); the
+            # branch mirrors call_in's zero-delay ready-queue fast path.
+            if propagation_s:
+                heappush(heap, (sim.now + propagation_s, next(tie),
+                                (deliver, (frame,))))
+            else:
+                ready.append((deliver, (frame,)))
 
 
 class Switch:

@@ -25,6 +25,11 @@ from ..core import (
     Service,
     Token,
 )
+from ..core.coalesce import (
+    JUMBO_COUNT_BYTES,
+    JUMBO_ENTRY_BYTES,
+    JumboDatagram,
+)
 from ..core.packing import PackedPayload
 from ..net import Frame, LinkSpec, Nic, Simulator, Switch, Timeout, Traffic
 from .latency import LatencyRecorder
@@ -59,7 +64,9 @@ class SimNode:
         self._token_queue: Deque[Token] = deque()
         self._data_queue: Deque[Frame] = deque()
         self._data_queue_bytes = 0
+        self._socket_buffer_bytes = spec.socket_buffer_bytes
         self._wakeup = sim.signal("node%d" % pid)
+        self._sim_ready = sim._ready
         # Timeout objects are immutable, so the CPU-charge pauses — a
         # handful of distinct cost values repeated millions of times — are
         # cached per payload size instead of allocated per event.
@@ -68,6 +75,7 @@ class SimNode:
         self._recv_timeouts: dict = {}
         self._send_timeouts: dict = {}
         self._deliver_timeouts: dict = {}
+        self._jumbo_bytes = config.jumbo_datagram_bytes
         self.socket_drops = 0
         self.tokens_resent = 0
         self._retransmit_deadline = 0.0
@@ -98,13 +106,17 @@ class SimNode:
             # any realistic number of them.
             self._token_queue.append(frame.payload)
         else:
-            wire = frame.wire_bytes()
-            if self._data_queue_bytes + wire > self.spec.socket_buffer_bytes:
+            wire = frame.wire
+            if self._data_queue_bytes + wire > self._socket_buffer_bytes:
                 self.socket_drops += 1
                 return
             self._data_queue.append(frame)
             self._data_queue_bytes += wire
-        self._wakeup.fire()
+        # Inlined Signal.fire (value=None): one call per received frame.
+        waiters = self._wakeup._waiters
+        if waiters:
+            self._sim_ready.extend(waiters)
+            waiters.clear()
 
     def start_with_token(self, token: Token) -> None:
         """Install the first regular token (membership's hand-off)."""
@@ -124,34 +136,90 @@ class SimNode:
         data_recv_cost = profile.data_recv_cost
         on_token = participant.on_token
         on_data = participant.on_data
-        execute = self._execute
+        # With coalescing on, token handling routes its SendData bursts
+        # through the jumbo batcher; receive-side delivery always uses
+        # the plain executor (``on_data`` never emits sends).
+        execute = (
+            self._execute if self._jumbo_bytes is None
+            else self._execute_jumbo
+        )
+        execute_plain = self._execute
+        jumbo = JumboDatagram
+        # Locals for the inlined delivery path (see the data branch).
+        sim = self.sim
+        pid = self.pid
+        record = self.recorder.record
+        deliver_timeouts = self._deliver_timeouts
+        deliver_cost = profile.deliver_cost
+        deliver_callback = self._deliver_callback
+        packed = PackedPayload
+        # Direct read of the priority tracker's flag: the public
+        # ``participant.token_has_priority`` property costs two Python
+        # calls per loop iteration, and this loop runs once per frame.
+        priority = participant._priority
         while True:
-            token_pending = bool(token_queue)
-            data_pending = bool(data_queue)
-            if not token_pending and not data_pending:
-                yield wakeup
-                continue
-            take_token = token_pending and (
-                participant.token_has_priority or not data_pending
-            )
-            if take_token:
+            if token_queue and (priority._token_high or not data_queue):
                 token = token_queue.popleft()
                 yield timeout_recv_token
                 actions = on_token(token)
-                for pause in execute(actions):
-                    yield pause
-            else:
+                if actions:
+                    yield from execute(actions)
+            elif data_queue:
                 frame = data_queue.popleft()
-                self._data_queue_bytes -= frame.wire_bytes()
+                self._data_queue_bytes -= frame.wire
                 message: DataMessage = frame.payload
+                if type(message) is jumbo:
+                    # One receive syscall (fixed cost) for the whole
+                    # coalesced datagram — that amortization is what
+                    # jumbo framing buys on the receive side.
+                    size = message.payload_size
+                    pause = recv_timeouts.get(size)
+                    if pause is None:
+                        pause = recv_timeouts[size] = Timeout(
+                            data_recv_cost(size)
+                        )
+                    yield pause
+                    for inner in message.messages:
+                        actions = on_data(inner)
+                        if actions:
+                            yield from execute_plain(actions)
+                    continue
                 size = message.payload_size
                 pause = recv_timeouts.get(size)
                 if pause is None:
                     pause = recv_timeouts[size] = Timeout(data_recv_cost(size))
                 yield pause
                 actions = on_data(message)
-                for pause in execute(actions):
-                    yield pause
+                if actions:
+                    # ``on_data`` returns only Deliver actions (delivery is
+                    # the sole side effect of receiving a data message), so
+                    # the Deliver arm of ``_execute`` is inlined here — on
+                    # the in-order fast path every received message
+                    # delivers immediately, and the sub-generator per
+                    # receive was measurable.
+                    for action in actions:
+                        delivered = action.message
+                        dsize = delivered.payload_size
+                        pause = deliver_timeouts.get(dsize)
+                        if pause is None:
+                            pause = deliver_timeouts[dsize] = Timeout(
+                                deliver_cost(dsize)
+                            )
+                        yield pause
+                        payload = delivered.payload
+                        if isinstance(payload, packed):
+                            for item in payload.items:
+                                record(pid, delivered.service,
+                                       item.submitted_at, sim.now,
+                                       item.payload_size)
+                        else:
+                            record(pid, delivered.service,
+                                   delivered.submitted_at, sim.now,
+                                   delivered.payload_size)
+                        if deliver_callback is not None:
+                            deliver_callback(pid, delivered)
+            else:
+                yield wakeup
 
     def _execute(self, actions):
         """Run an action list, yielding Timeouts for each CPU charge.
@@ -161,7 +229,15 @@ class SimNode:
         equivalent to the isinstance chain and cheaper per action.
         """
         profile = self.profile
+        pid = self.pid
+        sim = self.sim
+        nic_send = self.nic.send
+        record = self.recorder.record
+        header_bytes = profile.header_bytes
         send_timeouts = self._send_timeouts
+        deliver_timeouts = self._deliver_timeouts
+        deliver_callback = self._deliver_callback
+        data = Traffic.DATA
         for action in actions:
             kind = type(action)
             if kind is SendData:
@@ -173,33 +249,20 @@ class SimNode:
                         profile.data_send_cost(size)
                     )
                 yield pause
-                self.nic.send(
-                    Frame(
-                        src=self.pid,
-                        dst=None,
-                        traffic=Traffic.DATA,
-                        size=message.payload_size + profile.header_bytes,
-                        payload=message,
-                    )
-                )
+                nic_send(Frame(pid, None, data, size + header_bytes, message))
             elif kind is SendToken:
                 yield self._timeout_send_token
-                self.nic.send(
-                    Frame(
-                        src=self.pid,
-                        dst=action.dst,
-                        traffic=Traffic.TOKEN,
-                        size=action.token.size,
-                        payload=action.token,
-                    )
-                )
+                nic_send(Frame(
+                    pid, action.dst, Traffic.TOKEN,
+                    action.token.size, action.token,
+                ))
                 self._arm_token_retransmit(action)
             elif kind is Deliver:
                 message = action.message
                 size = message.payload_size
-                pause = self._deliver_timeouts.get(size)
+                pause = deliver_timeouts.get(size)
                 if pause is None:
-                    pause = self._deliver_timeouts[size] = Timeout(
+                    pause = deliver_timeouts[size] = Timeout(
                         profile.deliver_cost(size)
                     )
                 yield pause
@@ -208,25 +271,80 @@ class SimNode:
                     # Packed packets: account each application message
                     # individually (its own submit time and size).
                     for item in payload.items:
-                        self.recorder.record(
-                            self.pid,
-                            message.service,
-                            item.submitted_at,
-                            self.sim.now,
-                            item.payload_size,
-                        )
+                        record(pid, message.service, item.submitted_at,
+                               sim.now, item.payload_size)
                 else:
-                    self.recorder.record(
-                        self.pid,
-                        message.service,
-                        message.submitted_at,
-                        self.sim.now,
-                        message.payload_size,
-                    )
-                if self._deliver_callback is not None:
-                    self._deliver_callback(self.pid, message)
+                    record(pid, message.service, message.submitted_at,
+                           sim.now, message.payload_size)
+                if deliver_callback is not None:
+                    deliver_callback(pid, message)
             elif kind is Discard:
                 pass  # garbage collection is free compared to the rest
+
+    def _execute_jumbo(self, actions):
+        """Like :meth:`_execute`, coalescing consecutive SendData runs.
+
+        Batches are bounded by ``config.jumbo_datagram_bytes`` and flush
+        on overflow, on any non-send action (a SendToken must keep its
+        place after the pre-token sends), and at the end of the action
+        list.  Coalescing never spans action lists — like packing, it
+        only groups what one token handling already emitted, so no
+        batching delay is introduced.
+        """
+        cap = self._jumbo_bytes
+        base = self.profile.header_bytes + JUMBO_COUNT_BYTES
+        batch: list = []
+        batch_bytes = base
+        for action in actions:
+            if type(action) is SendData:
+                message = action.message
+                addition = JUMBO_ENTRY_BYTES + message.payload_size
+                if batch and batch_bytes + addition > cap:
+                    yield from self._flush_jumbo(batch, batch_bytes)
+                    batch = []
+                    batch_bytes = base
+                batch.append(message)
+                batch_bytes += addition
+            else:
+                if batch:
+                    yield from self._flush_jumbo(batch, batch_bytes)
+                    batch = []
+                    batch_bytes = base
+                yield from self._execute((action,))
+        if batch:
+            yield from self._flush_jumbo(batch, batch_bytes)
+
+    def _flush_jumbo(self, batch, batch_bytes):
+        """Send one batch: a lone packet goes plain, more go as a jumbo."""
+        profile = self.profile
+        send_timeouts = self._send_timeouts
+        if len(batch) == 1:
+            # Exactly the plain-datagram send: same bytes, same cost.
+            message = batch[0]
+            size = message.payload_size
+            pause = send_timeouts.get(size)
+            if pause is None:
+                pause = send_timeouts[size] = Timeout(
+                    profile.data_send_cost(size)
+                )
+            yield pause
+            self.nic.send(Frame(
+                self.pid, None, Traffic.DATA,
+                size + profile.header_bytes, message,
+            ))
+            return
+        datagram = JumboDatagram(tuple(batch))
+        size = datagram.payload_size
+        # One send syscall (fixed cost) for the whole coalesced datagram.
+        pause = send_timeouts.get(size)
+        if pause is None:
+            pause = send_timeouts[size] = Timeout(
+                profile.data_send_cost(size)
+            )
+        yield pause
+        self.nic.send(Frame(
+            self.pid, None, Traffic.DATA, batch_bytes, datagram,
+        ))
 
     # -- token-loss recovery --------------------------------------------------
 

@@ -29,6 +29,7 @@ from .codec import (
     decode,
     decode_detail,
     encode,
+    encode_jumbo,
     encoded_size,
 )
 from .capture import (
@@ -52,6 +53,7 @@ __all__ = [
     "decode",
     "decode_detail",
     "encode",
+    "encode_jumbo",
     "encoded_size",
     "CaptureReader",
     "CaptureRecord",

@@ -44,6 +44,7 @@ from ..core.messages import (
     TOKEN_RTR_ENTRY_SIZE,
     Token,
 )
+from ..core.coalesce import JumboDatagram
 from ..core.packing import PackedItem, PackedPayload
 from ..membership.messages import (
     CommitToken,
@@ -94,6 +95,7 @@ TYPE_JOIN = 4
 TYPE_COMMIT_TOKEN = 5
 TYPE_RECOVERY_DATA = 6
 TYPE_RECOVERY_COMPLETE = 7
+TYPE_JUMBO = 8
 
 TYPE_NAMES = {
     TYPE_DATA: "data",
@@ -103,6 +105,7 @@ TYPE_NAMES = {
     TYPE_COMMIT_TOKEN: "commit-token",
     TYPE_RECOVERY_DATA: "recovery-data",
     TYPE_RECOVERY_COMPLETE: "recovery-complete",
+    TYPE_JUMBO: "jumbo",
 }
 
 # -- fixed body layouts ------------------------------------------------------
@@ -130,6 +133,11 @@ _DATA_FLAG_HAS_TIMESTAMP = 0x02
 _PAYLOAD_NONE = 0
 _PAYLOAD_RAW = 1
 _PAYLOAD_VALUE = 2
+
+# Per-packet framing inside a jumbo body: inner frame type, inner body
+# length.  Inner packets share the outer datagram's header and CRC —
+# that sharing is the whole point (repro.core.coalesce).
+_JUMBO_ENTRY = struct.Struct("<BI")
 
 _PROBE_BODY = struct.Struct("<QQ")            # sender, ring_id
 _JOIN_BODY = struct.Struct("<QQ")             # sender, ring_seq
@@ -466,9 +474,41 @@ def encode(message: Any, ring_id: int = 0) -> bytes:
             _check_u64(message.sender, "sender"),
             _check_u64(message.new_ring_id, "new_ring_id"),
         ))
+    if kind is JumboDatagram:
+        return _frame(TYPE_JUMBO, _encode_jumbo_body(message.messages, ring_id))
     raise EncodeError(
         "no top-level wire encoding for %s" % kind.__name__
     )
+
+
+def _encode_jumbo_body(messages, ring_id: int) -> bytes:
+    if not messages:
+        raise EncodeError("a jumbo datagram needs at least one packet")
+    parts = [_u32(len(messages), "jumbo packet count")]
+    for message in messages:
+        # Only data packets coalesce: the token is never jumbo-framed
+        # (it flushes the batch and departs alone, for latency), and
+        # control-plane traffic is too rare to be worth amortizing.
+        if type(message) is not DataMessage:
+            raise EncodeError(
+                "jumbo datagrams carry only data packets, got %s"
+                % type(message).__name__
+            )
+        body = _encode_data_body(message, ring_id)
+        parts.append(_JUMBO_ENTRY.pack(TYPE_DATA, len(body)))
+        parts.append(body)
+    return b"".join(parts)
+
+
+def encode_jumbo(messages, ring_id: int = 0) -> bytes:
+    """Encode several data packets as one jumbo datagram.
+
+    The inner packets share one frame header and one CRC; each costs
+    only :data:`repro.core.coalesce.JUMBO_ENTRY_BYTES` of framing.
+    ``decode`` returns the whole datagram as a
+    :class:`~repro.core.coalesce.JumboDatagram`.
+    """
+    return _frame(TYPE_JUMBO, _encode_jumbo_body(tuple(messages), ring_id))
 
 
 def encoded_size(message: Any, ring_id: int = 0) -> int:
@@ -479,16 +519,23 @@ def encoded_size(message: Any, ring_id: int = 0) -> int:
 # -- decoding ---------------------------------------------------------------
 
 class _Reader:
-    """Bounds-checked cursor over one datagram body."""
+    """Bounds-checked cursor over one datagram body.
+
+    Zero-copy by construction: the buffer is kept as handed in (bytes,
+    bytearray or memoryview) and every fixed-layout field is read with
+    ``struct.unpack_from`` at an offset.  :meth:`take` slices only the
+    requested field — for a memoryview input that slice is itself a view
+    (no bytes are copied until a decoder materializes them on purpose).
+    """
 
     __slots__ = ("blob", "pos", "end")
 
-    def __init__(self, blob: bytes, pos: int, end: int) -> None:
+    def __init__(self, blob, pos: int, end: int) -> None:
         self.blob = blob
         self.pos = pos
         self.end = end
 
-    def take(self, count: int) -> bytes:
+    def take(self, count: int):
         pos = self.pos
         if count < 0 or pos + count > self.end:
             raise DecodeError("truncated frame body")
@@ -531,7 +578,10 @@ def _decode_value(reader: _Reader, depth: int = 0) -> Any:
         return reader.unpack(_F64)[0]
     if tag == _V_BYTES:
         (length,) = reader.unpack(_U32)
-        return reader.take(length)
+        value = reader.take(length)
+        # Materialize only this field (a no-op when the buffer is bytes:
+        # slicing bytes already produced bytes).
+        return value if type(value) is bytes else bytes(value)
     if tag == _V_STR:
         (length,) = reader.unpack(_U32)
         return _decode_str_bytes(reader.take(length))
@@ -581,9 +631,11 @@ def _decode_value(reader: _Reader, depth: int = 0) -> Any:
     raise DecodeError("unknown value tag 0x%02x" % tag)
 
 
-def _decode_str_bytes(raw: bytes) -> str:
+def _decode_str_bytes(raw) -> str:
+    # ``str(buffer, encoding)`` decodes bytes, bytearray and memoryview
+    # alike without an intermediate bytes copy.
     try:
-        return raw.decode("utf-8")
+        return str(raw, "utf-8")
     except UnicodeDecodeError as exc:
         raise DecodeError("invalid UTF-8 on wire: %s" % exc)
 
@@ -610,62 +662,104 @@ class Decoded(NamedTuple):
     ring_id: int
 
 
-def _decode_data_body(reader: _Reader) -> Tuple[DataMessage, int]:
+def _decode_data_fixed(blob, pos: int, end: int):
+    """Unpack the fixed data body at ``pos``; returns the raw field tuple.
+
+    Shared by the eager decoder and the lazy :class:`FrameView` peek:
+    validation of the fixed fields happens here, payload decoding does
+    not.
+    """
+    if pos + _DATA_BODY.size > end:
+        raise DecodeError("truncated frame body")
+    fields = _DATA_BODY.unpack_from(blob, pos)
     (ring_id, seq, pid, round_, stamp, payload_size,
-     service_code, flags, payload_kind, _reserved) = reader.unpack(_DATA_BODY)
+     service_code, flags, payload_kind, _reserved) = fields
     service = _SERVICE_BY_CODE.get(service_code)
     if service is None:
         raise DecodeError("unknown service code %d" % service_code)
     if flags & ~(_DATA_FLAG_POST_TOKEN | _DATA_FLAG_HAS_TIMESTAMP):
         raise DecodeError("unknown data flags 0x%02x" % flags)
-    if payload_kind == _PAYLOAD_NONE:
-        payload = None
-        if reader.remaining():
-            raise DecodeError("payload bytes on a payload-less data message")
-    elif payload_kind == _PAYLOAD_RAW:
-        payload = reader.take(reader.remaining())
-    elif payload_kind == _PAYLOAD_VALUE:
-        payload = _decode_value(reader)
-    else:
-        raise DecodeError("unknown payload kind %d" % payload_kind)
     submitted_at = stamp if flags & _DATA_FLAG_HAS_TIMESTAMP else None
     if submitted_at is not None and math.isnan(submitted_at):
         raise DecodeError("NaN submission timestamp")
+    return (ring_id, seq, pid, round_, service, payload_size,
+            flags, payload_kind, submitted_at)
+
+
+def _decode_data_payload(blob, pos: int, end: int, payload_kind: int):
+    """Decode the (possibly TLV) payload region of a data body."""
+    if payload_kind == _PAYLOAD_NONE:
+        if pos != end:
+            raise DecodeError("payload bytes on a payload-less data message")
+        return None
+    if payload_kind == _PAYLOAD_RAW:
+        # The single necessary copy: the payload becomes an independent
+        # bytes object (a plain slice when the buffer is already bytes).
+        payload = blob[pos:end]
+        return payload if type(payload) is bytes else bytes(payload)
+    if payload_kind == _PAYLOAD_VALUE:
+        reader = _Reader(blob, pos, end)
+        payload = _decode_value(reader)
+        reader.done()
+        return payload
+    raise DecodeError("unknown payload kind %d" % payload_kind)
+
+
+def _decode_data_body(blob, pos: int, end: int) -> Tuple[DataMessage, int]:
+    (ring_id, seq, pid, round_, service, payload_size,
+     flags, payload_kind, submitted_at) = _decode_data_fixed(blob, pos, end)
+    payload = _decode_data_payload(
+        blob, pos + _DATA_BODY.size, end, payload_kind
+    )
+    # Positional construction: this is the decode hot path and the
+    # keyword form measurably slows it down.
     message = DataMessage(
-        seq=seq,
-        pid=pid,
-        round=round_,
-        service=service,
-        payload=payload,
-        payload_size=payload_size,
-        sent_after_token=bool(flags & _DATA_FLAG_POST_TOKEN),
-        submitted_at=submitted_at,
+        seq, pid, round_, service, payload, payload_size,
+        bool(flags & _DATA_FLAG_POST_TOKEN), submitted_at,
     )
     return message, ring_id
 
 
-def _decode_token_body(reader: _Reader) -> Token:
+#: Bulk rtr formats, one per entry count (tokens carry few requests, so
+#: this tiny cache covers every real token with a single unpack_from).
+_RTR_BULK: Dict[int, struct.Struct] = {}
+
+
+def _decode_token_body(blob, pos: int, end: int) -> Token:
+    if pos + _TOKEN_BODY.size > end:
+        raise DecodeError("truncated frame body")
     (ring_id, hop, seq, aru, aru_field, fcc,
-     backlog, flags, rtr_count) = reader.unpack(_TOKEN_BODY)
+     backlog, flags, rtr_count) = _TOKEN_BODY.unpack_from(blob, pos)
+    pos += _TOKEN_BODY.size
     if backlog or flags:
         raise DecodeError("reserved token fields are non-zero")
     if aru_field < -1:
         raise DecodeError("invalid aru_id %d" % aru_field)
-    if rtr_count * _RTR_ENTRY.size != reader.remaining():
+    if rtr_count * _RTR_ENTRY.size != end - pos:
         raise DecodeError(
             "rtr count %d disagrees with body length" % rtr_count
         )
-    rtr = []
-    for _ in range(rtr_count):
-        rtr.append(reader.unpack(_RTR_ENTRY)[0])
+    if not rtr_count:
+        rtr = ()
+    elif rtr_count <= 64:
+        bulk = _RTR_BULK.get(rtr_count)
+        if bulk is None:
+            bulk = _RTR_BULK[rtr_count] = struct.Struct("<%dI" % rtr_count)
+        rtr = bulk.unpack_from(blob, pos)
+    else:
+        # Unusually long request lists: don't let a crafted datagram grow
+        # the Struct cache without bound.
+        unpack_from = _RTR_ENTRY.unpack_from
+        size = _RTR_ENTRY.size
+        rtr = tuple(
+            unpack_from(blob, pos + i * size)[0] for i in range(rtr_count)
+        )
+    # Positional construction (decode hot path): field order is
+    # ring_id, hop, seq, aru, aru_id, fcc, rtr.
     return Token(
-        ring_id=ring_id,
-        hop=hop,
-        seq=seq,
-        aru=aru,
-        aru_id=None if aru_field == -1 else aru_field,
-        fcc=fcc,
-        rtr=tuple(rtr),
+        ring_id, hop, seq, aru,
+        None if aru_field == -1 else aru_field,
+        fcc, rtr,
     )
 
 
@@ -692,19 +786,18 @@ def _decode_member_info(reader: _Reader) -> MemberInfo:
     )
 
 
-def decode_detail(blob: bytes) -> Decoded:
-    """Strictly decode one datagram, keeping envelope metadata.
+def _check_frame(blob) -> int:
+    """Validate magic, version, length and CRC; returns the message type.
 
-    Raises :class:`DecodeError` on anything that is not a well-formed
-    frame of the current wire version.
+    Zero-copy on every path, including errors: the input buffer (bytes,
+    bytearray or memoryview) is never materialized with ``bytes()`` and
+    the CRC is computed over a memoryview slice of the body, not a copy.
     """
-    if not isinstance(blob, (bytes, bytearray, memoryview)):
-        raise DecodeError("expected bytes, got %r" % type(blob).__name__)
-    blob = bytes(blob)
-    if len(blob) < HEADER_SIZE:
+    blob_len = len(blob)
+    if blob_len < HEADER_SIZE:
         raise DecodeError(
             "datagram of %d bytes is shorter than the %d-byte header"
-            % (len(blob), HEADER_SIZE)
+            % (blob_len, HEADER_SIZE)
         )
     magic, version, msg_type, body_len, crc = _HEADER.unpack_from(blob)
     if magic != MAGIC:
@@ -714,22 +807,170 @@ def decode_detail(blob: bytes) -> Decoded:
             "unsupported wire version %d (this build speaks %d)"
             % (version, WIRE_VERSION)
         )
-    if HEADER_SIZE + body_len != len(blob):
+    if HEADER_SIZE + body_len != blob_len:
         raise DecodeError(
             "body length %d disagrees with datagram size %d"
-            % (body_len, len(blob))
+            % (body_len, blob_len)
         )
-    body = blob[HEADER_SIZE:]
-    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+    if zlib.crc32(memoryview(blob)[HEADER_SIZE:]) & 0xFFFFFFFF != crc:
         raise DecodeError("CRC mismatch")
-    reader = _Reader(blob, HEADER_SIZE, len(blob))
-    ring_id = 0
+    return msg_type
+
+
+#: Complement of the known data flags, for one-test validation.
+_DATA_FLAGS_UNKNOWN = ~(_DATA_FLAG_POST_TOKEN | _DATA_FLAG_HAS_TIMESTAMP)
+
+# Pre-bound hot-path callables and offsets: every datagram pays these
+# lookups, so resolve them once at import instead of per decode.
+_CRC32 = zlib.crc32
+_HEADER_UNPACK = _HEADER.unpack_from
+_DATA_BODY_UNPACK = _DATA_BODY.unpack_from
+_DATA_PAYLOAD_OFFSET = HEADER_SIZE + _DATA_BODY.size
+
+
+def decode(blob) -> Any:
+    """Strictly decode one datagram to its protocol message.
+
+    Accepts ``bytes``, ``bytearray`` or ``memoryview`` without copying
+    the input (only the message payload is materialized).  Raises
+    :class:`DecodeError` on anything that is not a well-formed frame of
+    the current wire version.
+
+    The data and token branches intentionally inline the frame check and
+    body decode (rather than calling :func:`_check_frame` and
+    :func:`_decode_data_body`): this is the per-datagram hot path and
+    the Python call overhead of the layered helpers is measurable at
+    wire rate.  The helpers remain the single source of truth for the
+    lazy :class:`FrameView` and :func:`decode_detail` paths; keep the
+    two in sync.
+    """
+    # The unpack itself is the type/length guard: struct.error means the
+    # buffer is shorter than the header, TypeError means it is not a
+    # byte buffer at all.  Checking by attempting saves an isinstance
+    # and a length compare on every well-formed datagram.
+    try:
+        magic, version, msg_type, body_len, crc = _HEADER_UNPACK(blob)
+    except struct.error:
+        raise DecodeError(
+            "datagram of %d bytes is shorter than the %d-byte header"
+            % (len(blob), HEADER_SIZE)
+        )
+    except TypeError:
+        raise DecodeError("expected bytes, got %r" % type(blob).__name__)
+    end = len(blob)
+    if magic != MAGIC:
+        raise DecodeError("bad magic %r" % magic)
+    if version != WIRE_VERSION:
+        raise DecodeError(
+            "unsupported wire version %d (this build speaks %d)"
+            % (version, WIRE_VERSION)
+        )
+    if HEADER_SIZE + body_len != end:
+        raise DecodeError(
+            "body length %d disagrees with datagram size %d"
+            % (body_len, end)
+        )
+    if _CRC32(memoryview(blob)[HEADER_SIZE:]) & 0xFFFFFFFF != crc:
+        raise DecodeError("CRC mismatch")
     if msg_type == TYPE_DATA:
-        message, ring_id = _decode_data_body(reader)
-    elif msg_type == TYPE_TOKEN:
-        message = _decode_token_body(reader)
-        ring_id = message.ring_id
-    elif msg_type == TYPE_PROBE:
+        pos = _DATA_PAYLOAD_OFFSET
+        if pos > end:
+            raise DecodeError("truncated frame body")
+        (ring_id, seq, pid, round_, stamp, payload_size,
+         service_code, flags, payload_kind,
+         _reserved) = _DATA_BODY_UNPACK(blob, HEADER_SIZE)
+        try:
+            service = _SERVICE_BY_CODE[service_code]
+        except KeyError:
+            raise DecodeError("unknown service code %d" % service_code)
+        if flags & _DATA_FLAGS_UNKNOWN:
+            raise DecodeError("unknown data flags 0x%02x" % flags)
+        if flags & _DATA_FLAG_HAS_TIMESTAMP:
+            if stamp != stamp:  # NaN without a math.isnan call
+                raise DecodeError("NaN submission timestamp")
+            submitted_at = stamp
+        else:
+            submitted_at = None
+        if payload_kind == _PAYLOAD_RAW:
+            # The single necessary copy: the payload becomes an
+            # independent bytes object (a plain slice for bytes input).
+            payload = blob[pos:end]
+            if type(payload) is not bytes:
+                payload = bytes(payload)
+        elif payload_kind == _PAYLOAD_NONE:
+            if pos != end:
+                raise DecodeError("payload bytes on a payload-less data message")
+            payload = None
+        elif payload_kind == _PAYLOAD_VALUE:
+            reader = _Reader(blob, pos, end)
+            payload = _decode_value(reader)
+            reader.done()
+        else:
+            raise DecodeError("unknown payload kind %d" % payload_kind)
+        # Direct slot stores instead of the dataclass __init__: measurably
+        # faster on the per-datagram path.  DataMessage has no
+        # __post_init__ and exactly these eight fields; keep in sync with
+        # repro.core.messages.
+        message = DataMessage.__new__(DataMessage)
+        message.seq = seq
+        message.pid = pid
+        message.round = round_
+        message.service = service
+        message.payload = payload
+        message.payload_size = payload_size
+        message.sent_after_token = flags & _DATA_FLAG_POST_TOKEN != 0
+        message.submitted_at = submitted_at
+        return message
+    if msg_type == TYPE_TOKEN:
+        return _decode_token_body(blob, HEADER_SIZE, end)
+    if msg_type == TYPE_JUMBO:
+        return _decode_jumbo_body(blob, HEADER_SIZE, end)[0]
+    return _decode_control(blob, msg_type, end)[0]
+
+
+def _decode_jumbo_body(blob, pos: int, end: int) -> Tuple[JumboDatagram, int]:
+    """Decode a jumbo body to (JumboDatagram, first packet's ring_id)."""
+    if pos + _U32.size > end:
+        raise DecodeError("truncated frame body")
+    (count,) = _U32.unpack_from(blob, pos)
+    pos += _U32.size
+    if count == 0:
+        raise DecodeError("empty jumbo datagram")
+    entry_size = _JUMBO_ENTRY.size
+    if count > (end - pos) // entry_size:
+        raise DecodeError(
+            "jumbo packet count %d exceeds datagram capacity" % count
+        )
+    messages = []
+    ring_id = 0
+    for index in range(count):
+        if end - pos < entry_size:
+            raise DecodeError("jumbo entry overruns the datagram")
+        inner_type, body_len = _JUMBO_ENTRY.unpack_from(blob, pos)
+        if inner_type != TYPE_DATA:
+            raise DecodeError(
+                "jumbo datagrams carry only data packets, got type %d"
+                % inner_type
+            )
+        pos += entry_size
+        inner_end = pos + body_len
+        if inner_end > end:
+            raise DecodeError("jumbo entry overruns the datagram")
+        message, inner_ring = _decode_data_body(blob, pos, inner_end)
+        if index == 0:
+            ring_id = inner_ring
+        messages.append(message)
+        pos = inner_end
+    if pos != end:
+        raise DecodeError("trailing bytes after jumbo entries")
+    return JumboDatagram(tuple(messages)), ring_id
+
+
+def _decode_control(blob, msg_type: int, end: int) -> Tuple[Any, int]:
+    """Decode the rare control-plane frame types; returns (message, ring_id)."""
+    reader = _Reader(blob, HEADER_SIZE, end)
+    ring_id = 0
+    if msg_type == TYPE_PROBE:
         sender, probe_ring = reader.unpack(_PROBE_BODY)
         message = ProbeMessage(sender=sender, ring_id=probe_ring)
         ring_id = probe_ring
@@ -768,9 +1009,116 @@ def decode_detail(blob: bytes) -> Decoded:
     else:
         raise DecodeError("unknown message type %d" % msg_type)
     reader.done()
+    return message, ring_id
+
+
+def decode_detail(blob) -> Decoded:
+    """Strictly decode one datagram, keeping envelope metadata.
+
+    Accepts ``bytes``, ``bytearray`` or ``memoryview`` without copying
+    the input (only message payload bytes are materialized).  Raises
+    :class:`DecodeError` on anything that is not a well-formed frame of
+    the current wire version.
+    """
+    if not isinstance(blob, (bytes, bytearray, memoryview)):
+        raise DecodeError("expected bytes, got %r" % type(blob).__name__)
+    msg_type = _check_frame(blob)
+    end = len(blob)
+    if msg_type == TYPE_DATA:
+        message, ring_id = _decode_data_body(blob, HEADER_SIZE, end)
+    elif msg_type == TYPE_TOKEN:
+        message = _decode_token_body(blob, HEADER_SIZE, end)
+        ring_id = message.ring_id
+    elif msg_type == TYPE_JUMBO:
+        message, ring_id = _decode_jumbo_body(blob, HEADER_SIZE, end)
+    else:
+        message, ring_id = _decode_control(blob, msg_type, end)
     return Decoded(TYPE_NAMES[msg_type], message, ring_id)
 
 
-def decode(blob: bytes) -> Any:
-    """Strictly decode one datagram to its protocol message."""
-    return decode_detail(blob).message
+class FrameView:
+    """Lazy view of one validated data/token frame.
+
+    ``decode_frame`` validates the envelope and unpacks the fixed body
+    fields eagerly — enough for routing, filtering and statistics — but
+    defers TLV/payload decoding until :attr:`message` is first read.
+    Header-only consumers (capture summaries, per-type counters,
+    ring-id demultiplexers) therefore never pay for payload decoding.
+
+    Only ``data`` and ``token`` frames support the lazy split; control
+    frames (probe/join/commit/recovery) are rare and decode eagerly.
+    """
+
+    __slots__ = ("kind", "ring_id", "_blob", "_type", "_fixed", "_message")
+
+    def __init__(self, blob, msg_type: int, ring_id: int, fixed):
+        self.kind = TYPE_NAMES[msg_type]
+        self.ring_id = ring_id
+        self._blob = blob
+        self._type = msg_type
+        self._fixed = fixed
+        self._message = None
+
+    # -- header-only accessors (no payload decode) ----------------------
+    @property
+    def seq(self) -> int:
+        # Data fixed tuple: (ring_id, seq, ...); token: (ring_id, hop, seq, ...)
+        return self._fixed[1 if self._type == TYPE_DATA else 2]
+
+    @property
+    def pid(self) -> int:
+        """Sender pid for data frames; ``None`` for tokens."""
+        return self._fixed[2] if self._type == TYPE_DATA else None
+
+    @property
+    def payload_size(self) -> int:
+        """Declared payload size for data frames; 0 for tokens."""
+        return self._fixed[5] if self._type == TYPE_DATA else 0
+
+    # -- full decode, on demand ----------------------------------------
+    @property
+    def message(self) -> Any:
+        """The decoded protocol message (payload decoded on first access)."""
+        message = self._message
+        if message is None:
+            blob = self._blob
+            if self._type == TYPE_DATA:
+                (_, seq, pid, round_, service, payload_size,
+                 flags, payload_kind, submitted_at) = self._fixed
+                payload = _decode_data_payload(
+                    blob, HEADER_SIZE + _DATA_BODY.size, len(blob), payload_kind
+                )
+                message = DataMessage(
+                    seq, pid, round_, service, payload, payload_size,
+                    bool(flags & _DATA_FLAG_POST_TOKEN), submitted_at,
+                )
+            else:
+                message = _decode_token_body(blob, HEADER_SIZE, len(blob))
+            self._message = message
+            self._blob = None  # release the buffer once fully decoded
+        return message
+
+
+def decode_frame(blob) -> Any:
+    """Decode one datagram lazily where possible.
+
+    Returns a :class:`FrameView` for data and token frames — envelope
+    and fixed fields validated, payload decoding deferred — and a plain
+    :class:`Decoded` for the rare control-plane frame types.
+    """
+    if not isinstance(blob, (bytes, bytearray, memoryview)):
+        raise DecodeError("expected bytes, got %r" % type(blob).__name__)
+    msg_type = _check_frame(blob)
+    if msg_type == TYPE_DATA:
+        fixed = _decode_data_fixed(blob, HEADER_SIZE, len(blob))
+        return FrameView(blob, msg_type, fixed[0], fixed)
+    if msg_type == TYPE_TOKEN:
+        if HEADER_SIZE + _TOKEN_BODY.size > len(blob):
+            raise DecodeError("truncated frame body")
+        fixed = _TOKEN_BODY.unpack_from(blob, HEADER_SIZE)
+        return FrameView(blob, msg_type, fixed[0], fixed)
+    if msg_type == TYPE_JUMBO:
+        message, ring_id = _decode_jumbo_body(blob, HEADER_SIZE, len(blob))
+    else:
+        message, ring_id = _decode_control(blob, msg_type, len(blob))
+    return Decoded(TYPE_NAMES[msg_type], message, ring_id)

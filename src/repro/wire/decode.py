@@ -57,6 +57,9 @@ def render_capture(
 
 def summarize_capture(path: str) -> Dict[str, object]:
     """Aggregate statistics for one capture file."""
+    from ..core.coalesce import header_bytes_saved
+    from .codec import HEADER_SIZE
+
     reader = CaptureReader(path)
     by_kind: Dict[str, int] = {}
     bytes_by_kind: Dict[str, int] = {}
@@ -65,6 +68,9 @@ def summarize_capture(path: str) -> Dict[str, object]:
     first_ts: Optional[float] = None
     last_ts: Optional[float] = None
     wire_bytes = 0
+    jumbo_datagrams = 0
+    jumbo_packets = 0
+    jumbo_saved = 0
     for record in reader:
         records += 1
         wire_bytes += len(record.blob)
@@ -80,6 +86,11 @@ def summarize_capture(path: str) -> Dict[str, object]:
         bytes_by_kind[decoded.kind] = (
             bytes_by_kind.get(decoded.kind, 0) + len(record.blob)
         )
+        if decoded.kind == "jumbo":
+            count = len(decoded.message.messages)
+            jumbo_datagrams += 1
+            jumbo_packets += count
+            jumbo_saved += header_bytes_saved(count, HEADER_SIZE)
     return {
         "world": reader.world_name,
         "label": reader.label,
@@ -90,6 +101,10 @@ def summarize_capture(path: str) -> Dict[str, object]:
         "undecodable": undecodable,
         "span_s": (last_ts - first_ts) if records else 0.0,
         "truncated_tail": reader.truncated_tail,
+        #: Coalescing statistics (all zero for captures without jumbos).
+        "jumbo_datagrams": jumbo_datagrams,
+        "jumbo_packets": jumbo_packets,
+        "jumbo_header_bytes_saved": jumbo_saved,
     }
 
 
@@ -108,5 +123,14 @@ def render_summary(path: str) -> Iterator[str]:
         )
     if summary["undecodable"]:
         yield "  %-18s %6d record(s)" % ("UNDECODABLE", summary["undecodable"])
+    if summary["jumbo_datagrams"]:
+        yield (
+            "# coalescing: %d packet(s) in %d jumbo datagram(s) "
+            "(%.2f per jumbo), %d header byte(s) saved" % (
+                summary["jumbo_packets"], summary["jumbo_datagrams"],
+                summary["jumbo_packets"] / summary["jumbo_datagrams"],
+                summary["jumbo_header_bytes_saved"],
+            )
+        )
     if summary["truncated_tail"]:
         yield "# WARNING: capture ends mid-record"

@@ -72,6 +72,60 @@ def test_packed_payload_size_accounting():
     assert packed.total_size == size == 100 + ITEM_HEADER_BYTES
 
 
+def test_oversized_first_item_still_reports_true_size():
+    # The oversized item travels alone, and the returned packet size is
+    # its real (over-budget) size — the driver needs it for fragmenting.
+    queue = deque([pend("big", 5000)])
+    packed, service, size, _e = pack_next(queue, max_packet_payload=1350)
+    assert len(packed) == 1
+    assert size == 5000 + ITEM_HEADER_BYTES
+    assert service is Service.AGREED
+    assert not queue
+
+
+def test_item_exactly_filling_budget_is_included():
+    # 2 * (659 + 16) == 1350: the second item lands exactly on the
+    # budget and must be packed (the bound is inclusive).
+    queue = deque([pend("a", 659), pend("b", 659), pend("c", 659)])
+    packed, _svc, size, _e = pack_next(queue, max_packet_payload=1350)
+    assert [i.payload for i in packed.items] == ["a", "b"]
+    assert size == 1350
+    assert len(queue) == 1
+
+
+def test_safe_never_rides_in_agreed_packet_even_with_room():
+    # Plenty of budget left, but the Safe item must not lose its
+    # stability guarantee by riding in an Agreed packet.
+    queue = deque([pend("a", 10, Service.AGREED), pend("s", 10, Service.SAFE)])
+    packed, service, _s, _e = pack_next(queue, 1350)
+    assert [i.payload for i in packed.items] == ["a"]
+    assert service is Service.AGREED
+    packed, service, _s, _e = pack_next(queue, 1350)
+    assert [i.payload for i in packed.items] == ["s"]
+    assert service is Service.SAFE
+
+
+def test_earliest_timestamp_with_unstamped_first_item():
+    # An unstamped first item must not mask a later real timestamp.
+    queue = deque([pend("x", 10, at=None), pend("y", 10, at=4.0),
+                   pend("z", 10, at=2.0)])
+    _p, _svc, _s, earliest = pack_next(queue, 1350)
+    assert earliest == 2.0
+
+
+def test_earliest_timestamp_with_unstamped_tail_items():
+    # And later unstamped items must not erase an earlier one.
+    queue = deque([pend("x", 10, at=7.0), pend("y", 10, at=None)])
+    _p, _svc, _s, earliest = pack_next(queue, 1350)
+    assert earliest == 7.0
+
+
+def test_all_items_unstamped_packs_with_no_timestamp():
+    queue = deque([pend("x", 10, at=None), pend("y", 10, at=None)])
+    _p, _svc, _s, earliest = pack_next(queue, 1350)
+    assert earliest is None
+
+
 # ---------------------------------------------------------------------------
 # Participant-level packing
 # ---------------------------------------------------------------------------
