@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full bench-smoke bench-guard campaign-smoke wire-fuzz-smoke examples figures clean
+.PHONY: install test test-fast bench bench-full bench-smoke bench-guard campaign-smoke churn-smoke wire-fuzz-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -39,6 +39,8 @@ bench-guard:
 	REPRO_BENCH_RESULTS=bench_results/fresh \
 		$(PYTHON) -m pytest benchmarks/test_kernel_events_per_sec.py \
 		benchmarks/test_codec_throughput.py -q
+	$(PYTHON) -m repro.cli churn --sweep \
+		--out bench_results/fresh/churn_convergence.json
 	$(PYTHON) -m repro.bench.guard --baseline bench_results \
 		--fresh bench_results/fresh
 
@@ -49,6 +51,15 @@ bench-guard:
 campaign-smoke:
 	$(PYTHON) -m repro.cli campaign --seed 1 --scenarios 4 --quiet
 	@ls bench_results/campaigns/
+
+# Gossip-membership churn smoke: the detector unit/fuzz suites, the
+# simulated churn-campaign smoke test, and one EVS-checked 50-node
+# endurance scenario (sustained crash/restart churn plus a flapping
+# node) via the CLI.  Exits non-zero on any EVS violation or
+# convergence failure.  This is what CI runs.
+churn-smoke:
+	$(PYTHON) -m pytest tests/test_gossip.py tests/test_churn_campaign.py -q
+	$(PYTHON) -m repro.cli churn --nodes 50 --seed 1
 
 # Bounded fuzz pass over the wire codec: the hypothesis property suites
 # at a raised example budget, plus the live-daemon malformed-datagram

@@ -1,7 +1,7 @@
 """Benchmark regression guard: fresh run vs committed baseline.
 
-CI regenerates the microbenchmark records (``kernel.json``,
-``codec.json``) into a scratch directory and then runs::
+CI regenerates the guarded records (``kernel.json``, ``codec.json``,
+``churn_convergence.json``) into a scratch directory and then runs::
 
     python -m repro.bench.guard --baseline bench_results --fresh <dir>
 
@@ -38,6 +38,14 @@ GUARDED_METRICS: Dict[str, Tuple[str, ...]] = {
         "msgs_per_sec.wire_decode",
         "msgs_per_sec.wire_encode_token",
         "msgs_per_sec.wire_decode_token",
+    ),
+    # Simulated-time rates (machine-independent): view-change
+    # convergence speed and the inverse of the gossip detector's
+    # steady-state control traffic at the largest swept cluster size.
+    "churn_convergence.json": (
+        "metrics.crash_convergence_rate_hz",
+        "metrics.rejoin_convergence_rate_hz",
+        "metrics.ctrl_traffic_headroom",
     ),
 }
 

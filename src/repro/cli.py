@@ -11,6 +11,11 @@ Run a fault-injection campaign (seeded, deterministic)::
     python -m repro.cli campaign --seed 1 --scenarios 50
     python -m repro.cli campaign --seed 1 --scenarios 2 --selftest-violation
 
+Run gossip-membership churn campaigns at 50-100 nodes::
+
+    python -m repro.cli churn --nodes 50,100 --seed 1
+    python -m repro.cli churn --sweep     # convergence-vs-N bench record
+
 Inspect wire captures (``.rcap`` files from the sim switch tap or the
 UDP transport)::
 
@@ -88,6 +93,99 @@ def run_campaign_command(args) -> int:
             if run["repro"]:
                 print("repro:   %s" % run["repro"])
     return 1 if summary["failures"] else 0
+
+
+def run_churn_command(argv: List[str]) -> int:
+    """The ``churn`` experiment: gossip-membership churn campaigns.
+
+    Default mode runs EVS-checked endurance scenarios (sustained
+    crash/restart churn plus one flapping node) at each requested
+    cluster size; ``--sweep`` instead measures view-change convergence
+    and control traffic vs N for both detection paths and writes the
+    guarded ``churn_convergence.json`` record.
+    """
+    from .sim.churn import (
+        DEFAULT_RECORD_PATH,
+        ChurnOptions,
+        convergence_sweep,
+        run_churn_scenario,
+        write_record,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli churn",
+        description="Churn campaigns for the gossip membership detector.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="campaign seed; victim order and schedules derive from it "
+             "(default: 1)",
+    )
+    parser.add_argument(
+        "--nodes", default="50,100",
+        help="comma-separated cluster sizes for scenario runs "
+             "(default: 50,100)",
+    )
+    parser.add_argument(
+        "--events", type=int, default=8,
+        help="churn events (crash+restart cycles) per scenario "
+             "(default: 8)",
+    )
+    parser.add_argument(
+        "--probes", action="store_true",
+        help="run scenarios on the probe-flood detection path instead "
+             "of gossip",
+    )
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="run the convergence-vs-N sweep (both detection paths) "
+             "and write the bench record instead of scenario runs",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_RECORD_PATH,
+        help="record path for --sweep (default: %s)" % DEFAULT_RECORD_PATH,
+    )
+    args = parser.parse_args(argv)
+
+    if args.sweep:
+        record = convergence_sweep(seed=args.seed)
+        path = write_record(record, args.out)
+        for entry in record["sweep"]:
+            print("n=%3d  gossip: crash %.3fs rejoin %.3fs steady "
+                  "%.0f recv/node/s | probes: crash %.3fs steady "
+                  "%.0f recv/node/s"
+                  % (entry["n_nodes"],
+                     entry["gossip"]["crash_convergence_s"],
+                     entry["gossip"]["rejoin_convergence_s"],
+                     entry["gossip"]["steady"]["recv_per_node_hz"],
+                     entry["probes"]["crash_convergence_s"],
+                     entry["probes"]["steady"]["recv_per_node_hz"]))
+        print("metrics: %r" % record["metrics"])
+        print("wrote %s" % path)
+        return 0
+
+    failures = 0
+    for field in args.nodes.split(","):
+        n_nodes = int(field)
+        options = ChurnOptions(
+            seed=args.seed, n_nodes=n_nodes, gossip=not args.probes,
+            churn_events=args.events,
+        )
+        summary = run_churn_scenario(options)
+        ok = summary["converged"] and not summary["violations"]
+        failures += 0 if ok else 1
+        print("churn n=%d seed=%d %s: %d restart(s), %d delivered, "
+              "%d violation(s), ctrl %.0f frames/node/s"
+              % (n_nodes, args.seed,
+                 "gossip" if not args.probes else "probes",
+                 summary["total_restarts"], summary["delivered_total"],
+                 len(summary["violations"]),
+                 summary["ctrl"]["ctrl_frames_per_node_per_s"]))
+        for violation in summary["violations"][:5]:
+            print("  violation: %s" % (violation,))
+        if not summary["converged"]:
+            print("  ERROR: membership failed to re-converge after churn")
+    return 1 if failures else 0
 
 
 def run_decode_command(argv: List[str]) -> int:
@@ -181,6 +279,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_decode_command(argv[1:])
     if argv and argv[0] == "capture-sample":
         return run_capture_sample_command(argv[1:])
+    if argv and argv[0] == "churn":
+        return run_churn_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Reproduce figures from 'Fast Total Ordering for "
@@ -189,7 +289,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (e.g. fig1), 'all', 'list', 'campaign', "
-             "'decode', or 'capture-sample'",
+             "'churn', 'decode', or 'capture-sample'",
     )
     parser.add_argument(
         "--full", action="store_true",

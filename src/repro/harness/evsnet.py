@@ -28,11 +28,16 @@ class EVSNetwork:
         timeouts: Optional[MembershipTimeouts] = None,
     ) -> None:
         self.pids = list(pids)
+        self._config = config
+        self._timeouts = timeouts
         self.processes: Dict[int, EVSProcess] = {
             pid: EVSProcess(pid, config, timeouts) for pid in self.pids
         }
         self._groups: List[Set[int]] = [set(self.pids)]
         self.crashed: Set[int] = set()
+        #: Earlier incarnations of restarted pids, oldest first.  Their
+        #: delivered prefixes still matter for EVS checking.
+        self.archived: Dict[int, List[EVSProcess]] = {}
         self._ctrl: Dict[int, Deque] = {p: deque() for p in self.pids}
         self._token: Dict[int, Deque] = {p: deque() for p in self.pids}
         self._data: Dict[int, Deque] = {p: deque() for p in self.pids}
@@ -78,6 +83,32 @@ class EVSNetwork:
         # network in the common case); use set_partition for control.
         target = max(self._groups, key=len) if self._groups else set()
         target.add(pid)
+        self._route(pid, process.bootstrap())
+        return process
+
+    def restart(self, pid: int) -> EVSProcess:
+        """Reboot a crashed process as a fresh, amnesiac incarnation.
+
+        The old incarnation's log is archived (its delivered prefix
+        still has to be consistent with the survivors'); the new
+        process bootstraps as a singleton and rejoins via the normal
+        membership path, landing in the largest current group.
+        """
+        if pid not in self.crashed:
+            raise ValueError("pid %r is not crashed" % pid)
+        self.crashed.discard(pid)
+        old = self.processes[pid]
+        self.archived.setdefault(pid, []).append(old)
+        # Volatile state is gone, but the ring epoch survives on
+        # "disk" (Totem's stable-storage ring sequence number) so the
+        # new incarnation can never re-mint an old ring id.
+        process = EVSProcess(pid, self._config, self._timeouts,
+                             stable_ring_seq=old.stable_ring_seq)
+        self.processes[pid] = process
+        if self._groups:
+            max(self._groups, key=len).add(pid)
+        else:
+            self._groups = [{pid}]
         self._route(pid, process.bootstrap())
         return process
 
@@ -171,10 +202,26 @@ class EVSNetwork:
 
     # -- invariant checking -------------------------------------------------------
 
-    def logs(self) -> Dict[int, List]:
-        """Every process's app_log (crashed included — their delivered
-        prefix must still be consistent with the survivors')."""
-        return {pid: process.app_log for pid, process in self.processes.items()}
+    def logs(self) -> Dict:
+        """Every incarnation's app_log (crashed included — their
+        delivered prefix must still be consistent with the survivors').
+
+        Keys are bare pids until the first :meth:`restart`; after one,
+        keys become ``(pid, incarnation)`` so each amnesiac reboot is
+        checked as its own EVS process (the checker accepts both).
+        """
+        if not self.archived:
+            return {
+                pid: process.app_log
+                for pid, process in self.processes.items()
+            }
+        collected: Dict = {}
+        for pid, process in self.processes.items():
+            earlier = self.archived.get(pid, [])
+            for incarnation, old in enumerate(earlier):
+                collected[(pid, incarnation)] = old.app_log
+            collected[(pid, len(earlier))] = process.app_log
+        return collected
 
     def check_invariants(self) -> None:
         """Assert every EVS axiom over all processes' logs."""

@@ -7,6 +7,17 @@ recovery of old-ring messages with EVS transitional semantics.
 """
 
 from .controller import EVSProcess, MembershipTimeouts, Outgoing, State
+from .gossip import (
+    GossipAck,
+    GossipConfig,
+    GossipDetector,
+    GossipPing,
+    GossipPingReq,
+    GossipUpdate,
+    PeerAlive,
+    PeerConfirm,
+    PeerSuspect,
+)
 from .messages import (
     CommitToken,
     JoinMessage,
@@ -20,4 +31,7 @@ __all__ = [
     "EVSProcess", "MembershipTimeouts", "Outgoing", "State",
     "JoinMessage", "CommitToken", "MemberInfo", "ProbeMessage",
     "RecoveryData", "RecoveryComplete",
+    "GossipDetector", "GossipConfig", "GossipUpdate",
+    "GossipPing", "GossipPingReq", "GossipAck",
+    "PeerAlive", "PeerSuspect", "PeerConfirm",
 ]

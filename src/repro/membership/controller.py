@@ -113,6 +113,7 @@ class EVSProcess:
         pid: int,
         config: Optional[ProtocolConfig] = None,
         timeouts: Optional[MembershipTimeouts] = None,
+        stable_ring_seq: int = 0,
     ) -> None:
         self.pid = pid
         self.config = config or ProtocolConfig()
@@ -129,6 +130,13 @@ class EVSProcess:
         # another.
         self._attempt_counter = 0
         self._rejitter()
+        #: Totem-style probe broadcasts announce an Operational process
+        #: every probe interval — an all-to-all control flood at scale.
+        #: A host that runs an external failure detector (the SWIM-style
+        #: gossip layer, :mod:`repro.membership.gossip`) turns them off
+        #: and feeds :meth:`notify_peer_alive` / :meth:`notify_peer_failed`
+        #: instead; gather/commit/recovery are unchanged.
+        self.probes_enabled = True
         #: Application-visible events: AppMessage and ConfigChange, in order.
         self.app_log: List[Union[AppMessage, ConfigChange]] = []
 
@@ -138,7 +146,15 @@ class EVSProcess:
         self.state = State.OPERATIONAL
         self.app_log.append(ConfigChange(Configuration.regular(pid, (pid,))))
 
-        self._highest_ring_seq = 0
+        # Totem keeps the ring sequence number in stable storage so a
+        # ring id is never reused across a crash: a rebooted process
+        # that starts its singleton rings from zero can re-mint a ring
+        # id its previous incarnation already delivered messages under,
+        # and two different configurations sharing one id is a virtual
+        # synchrony violation waiting to be observed.  A restarting
+        # driver passes the previous incarnation's value here (the
+        # "disk"); everything else about the process is amnesiac.
+        self._highest_ring_seq = stable_ring_seq
         self._ticks_since_token = 0
         self._state_ticks = 0
 
@@ -255,7 +271,7 @@ class EVSProcess:
                 and self._ticks_since_token > self.timeouts.token_loss_ticks
             ):
                 return self._start_gather()
-            if self._state_ticks % self._probe_ticks == 0:
+            if self.probes_enabled and self._state_ticks % self._probe_ticks == 0:
                 return [
                     Outgoing("ctrl", ProbeMessage(self.pid, self.ring.ring_id))
                 ]
@@ -283,6 +299,17 @@ class EVSProcess:
     @property
     def token_has_priority(self) -> bool:
         return self.participant.token_has_priority
+
+    @property
+    def stable_ring_seq(self) -> int:
+        """The persisted ring epoch a restart must carry forward.
+
+        Models Totem's stable-storage ring sequence number: the value
+        is updated whenever a higher ring sequence is observed (join,
+        commit token, install), which is exactly when a real daemon
+        would write it to disk.
+        """
+        return self._highest_ring_seq
 
     # ------------------------------------------------------------------
     # Operational internals
@@ -338,7 +365,11 @@ class EVSProcess:
         self._commit_ticks = commit + (x >> 5) % (commit // 3 + 2)
         self._probe_ticks = probe + (x >> 10) % (probe // 4 + 2)
 
-    def _start_gather(self, extra_procs: Optional[Set[int]] = None) -> List[Outgoing]:
+    def _start_gather(
+        self,
+        extra_procs: Optional[Set[int]] = None,
+        extra_fails: Optional[Set[int]] = None,
+    ) -> List[Outgoing]:
         self.state = State.GATHER
         self._rejitter()
         self._state_ticks = 0
@@ -349,7 +380,12 @@ class EVSProcess:
         self._join_cooldown = 0
         self._join_dirty = False
         self._proc_set = set(self.ring.members) | {self.pid} | (extra_procs or set())
-        self._fail_set = set()
+        # A failure detector (gossip) may pre-seed the fail set so the
+        # gather does not burn three silence strikes rediscovering what
+        # the detector already knows.  Grounding still applies: a join
+        # from a pre-failed process proves it alive and scrubs it.
+        self._fail_set = set(extra_fails or ()) - {self.pid}
+        self._proc_set |= self._fail_set
         self._joins = {}
         self._commit = None
         self._recovery_union = {}
@@ -380,7 +416,20 @@ class EVSProcess:
         )
         self._joins[self.pid] = (join.proc_set, join.fail_set)
         self._join_dirty = False
-        self._join_cooldown = max(8, len(self._proc_set))
+        # The cooldown must keep the AGGREGATE join arrival rate at any
+        # process strictly below its one-control-message-per-tick drain
+        # capacity, counting BOTH broadcast sources: n-1 peers batching
+        # behind their cooldowns (n-1 ÷ cooldown) plus their
+        # gather-timeout rebroadcasts (n-1 ÷ gather window).  At one
+        # tick per member (the old value) the cooldown term alone
+        # approaches 1.0 as n grows, so the timeout term tips a
+        # 50-process gather into meltdown: the backlog diverges, every
+        # process argues with an ever-staler past, and silence strikes
+        # fail live members faster than consensus can form.  Two ticks
+        # per member holds the cooldown term at 0.5, leaving the other
+        # half of the drain budget for timeout rebroadcasts and commit
+        # traffic (gather windows are sized >= 2(n-1) ticks at scale).
+        self._join_cooldown = max(8, 2 * len(self._proc_set))
         return [Outgoing("ctrl", join)]
 
     def _queue_join_broadcast(self) -> List[Outgoing]:
@@ -411,6 +460,58 @@ class EVSProcess:
             self._proc_set.add(probe.sender)
             self._state_ticks = 0
             return self._queue_join_broadcast()
+        return []
+
+    # -- external failure detector (gossip) hooks ----------------------
+
+    def notify_peer_alive(self, pid: int) -> List[Outgoing]:
+        """Detector evidence that ``pid`` is up and reachable.
+
+        The gossip-layer replacement for the foreign-probe trigger:
+        a live process outside our ring means a mergeable component
+        exists, so reconfigure toward it.  Evidence about processes
+        already in the ring is a no-op.
+        """
+        if pid == self.pid:
+            return []
+        if self.state is State.OPERATIONAL:
+            if pid not in self.ring:
+                return self._start_gather(extra_procs={pid})
+            return []
+        if self.state is State.GATHER and pid not in self._proc_set:
+            self._proc_set.add(pid)
+            self._state_ticks = 0
+            return self._queue_join_broadcast()
+        return []
+
+    def notify_peer_failed(self, pid: int) -> List[Outgoing]:
+        """Detector verdict that ``pid`` is dead (suspicion expired).
+
+        Replaces waiting out the token-loss timeout: an Operational
+        process reconfigures immediately with ``pid`` pre-seeded into
+        the fail set, and a gathering process adds the verdict to its
+        view.  The verdict is evidence, not truth — a join from the
+        condemned process proves it alive and the grounding rule
+        scrubs it from the merged fail set.
+        """
+        if pid == self.pid:
+            return []
+        if self.state is State.OPERATIONAL:
+            if pid in self.ring and len(self.ring) > 1:
+                return self._start_gather(extra_fails={pid})
+            return []
+        if self.state is State.GATHER and pid not in self._fail_set \
+                and pid in self._proc_set:
+            self._fail_set.add(pid)
+            view = (frozenset(self._proc_set), frozenset(self._fail_set))
+            self._joins = {
+                sender: sets
+                for sender, sets in self._joins.items()
+                if sets == view
+            }
+            out = self._queue_join_broadcast()
+            out.extend(self._check_consensus())
+            return out
         return []
 
     def _on_join(self, join: JoinMessage) -> List[Outgoing]:

@@ -15,9 +15,11 @@ from .campaign import (
 )
 from .cluster import SimCluster, SimResult, run_point
 from .faults import (
+    Churn,
     Crash,
     FaultSchedule,
     FaultScheduleError,
+    Flap,
     Heal,
     LossSwap,
     Partition,
@@ -27,15 +29,16 @@ from .faults import (
 from .latency import LatencyRecorder, LatencySummary, summarize
 from .node import SimNode
 from .profiles import DAEMON, LIBRARY, PROFILES, SPREAD, CostProfile
-from .evs_node import SimEVSCluster, SimEVSNode
+from .evs_node import GossipSimNode, SimEVSCluster, SimEVSNode
 from .trace import RoundStats, RoundTracer
 
 __all__ = [
-    "SimEVSCluster", "SimEVSNode",
+    "GossipSimNode", "SimEVSCluster", "SimEVSNode",
     "SimCluster", "SimResult", "run_point",
     "SimNode",
     "FaultSchedule", "FaultScheduleError",
     "Crash", "Restart", "Partition", "Heal", "TokenDrop", "LossSwap",
+    "Flap", "Churn",
     "CampaignOptions", "ScenarioResult",
     "generate_schedule", "run_campaign", "run_scenario", "shrink_schedule",
     "LatencyRecorder", "LatencySummary", "summarize",

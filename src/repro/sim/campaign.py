@@ -251,7 +251,14 @@ def shrink_schedule(
     schedule: FaultSchedule,
     fails: Callable[[FaultSchedule], bool],
 ) -> FaultSchedule:
-    """Greedy delta-debugging: drop events while the failure persists."""
+    """Greedy delta-debugging: drop or weaken events while failing.
+
+    Removal is tried first; once nothing can be removed, recurring
+    events (flap/churn) are weakened by lowering their repeat count.
+    Every accepted candidate strictly decreases the measure
+    ``(event count, total repeats)``, so the loop terminates even for
+    self-rescheduling generator events.
+    """
     changed = True
     while changed and len(schedule):
         changed = False
@@ -260,6 +267,16 @@ def shrink_schedule(
             if fails(candidate):
                 schedule = candidate
                 changed = True
+                break
+        if changed:
+            continue
+        for index in range(len(schedule)):
+            for candidate in schedule.weakened(index):
+                if fails(candidate):
+                    schedule = candidate
+                    changed = True
+                    break
+            if changed:
                 break
     return schedule
 

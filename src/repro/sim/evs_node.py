@@ -16,8 +16,19 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..core import ProtocolConfig, Service
-from ..membership import EVSProcess, MembershipTimeouts, Outgoing, State
+from ..membership import (
+    EVSProcess,
+    GossipConfig,
+    GossipDetector,
+    MembershipTimeouts,
+    Outgoing,
+    PeerAlive,
+    PeerConfirm,
+    State,
+)
+from ..membership.gossip import GOSSIP_MESSAGE_TYPES, GossipPingReq
 from ..net import Frame, LinkSpec, Nic, Simulator, Switch, Timeout, Traffic
+from ..wire import GOSSIP_BASE_SIZE, GOSSIP_REQ_BASE_SIZE, GOSSIP_UPDATE_SIZE
 from .profiles import CostProfile
 
 #: Wire payload markers (what Frame.payload carries).
@@ -59,6 +70,12 @@ class SimEVSNode:
         self._data_queue: Deque[Tuple[int, Any, int]] = deque()
         self._wakeup = sim.signal("evsnode%d" % pid)
         self.crashed = False
+        #: Control-plane traffic accounting (membership + failure
+        #: detection, excluding ordered data and the rotating token) —
+        #: the quantity the gossip detector is meant to keep bounded.
+        self.ctrl_frames_sent = 0
+        self.ctrl_bytes_sent = 0
+        self.ctrl_frames_received = 0
         #: How many times this node has been (re)started.
         self.incarnation = 0
         #: EVSProcess instances of previous incarnations (their app_log
@@ -90,16 +107,21 @@ class SimEVSNode:
     def restart(self) -> None:
         """Boot a fresh incarnation after a crash.
 
-        The new process has total amnesia (no old-ring state, empty
-        buffers — exactly what a restarted daemon has) and floods a join
-        as a singleton; membership merges it back in.
+        The new process has amnesia for everything volatile (no
+        old-ring state, empty buffers — exactly what a restarted daemon
+        has) and floods a join as a singleton; membership merges it
+        back in.  Only the stable-storage ring epoch survives, so the
+        incarnation can never reuse a ring id (see EVSProcess).
         """
         if not self.crashed:
             raise RuntimeError("node %d is not crashed" % self.pid)
         self.crashed = False
         self.incarnation += 1
         self.archived_processes.append(self.process)
-        self.process = EVSProcess(self.pid, self._config, self._timeouts)
+        self.process = EVSProcess(
+            self.pid, self._config, self._timeouts,
+            stable_ring_seq=self.process.stable_ring_seq,
+        )
         self._cpu = self.sim.spawn(
             self._cpu_loop(), "evscpu%d.%d" % (self.pid, self.incarnation)
         )
@@ -138,6 +160,7 @@ class SimEVSNode:
             self._token_queue.append((ring_id, token, frame.src))
         elif kind == _CTRL:
             _kind, message = frame.payload
+            self.ctrl_frames_received += 1
             self._ctrl_queue.append((message, frame.src))
         else:
             _kind, ring_id, message = frame.payload
@@ -170,9 +193,15 @@ class SimEVSNode:
                     self._ctrl_queue.append((out.payload, self.pid))
                     self._wakeup.fire()
                 else:
+                    self.ctrl_frames_sent += 1
+                    self.ctrl_bytes_sent += frame.size
                     self.nic.send(frame)
 
     # -- processes ------------------------------------------------------------------
+
+    def _handle_ctrl(self, message: Any, src: int) -> None:
+        """Dispatch one control message (subclasses add detector traffic)."""
+        self._route(self.process.handle_ctrl(message, src))
 
     def _cpu_loop(self):
         profile = self.profile
@@ -180,7 +209,7 @@ class SimEVSNode:
             if self._ctrl_queue:
                 message, src = self._ctrl_queue.popleft()
                 yield Timeout(profile.recv_token_cpu_s)
-                self._route(self.process.handle_ctrl(message, src))
+                self._handle_ctrl(message, src)
                 continue
             token_pending = bool(self._token_queue)
             data_pending = bool(self._data_queue)
@@ -205,6 +234,119 @@ class SimEVSNode:
             self._route(self.process.tick())
 
 
+class GossipSimNode(SimEVSNode):
+    """EVS node whose failure detection rides a SWIM gossip detector.
+
+    The Totem controller's own all-to-all probe broadcasts are disabled
+    (``probes_enabled = False``); instead a :class:`GossipDetector`
+    pings one random peer per protocol period and feeds suspicion
+    verdicts into the membership state machine via
+    ``notify_peer_alive`` / ``notify_peer_failed``.  Gather/commit
+    still forms the actual views — gossip only decides *when* to start
+    one and about *whom*.
+
+    Gossip frames are charged their real wire size (the codec's
+    measured base + per-update sizes), so the control-traffic counters
+    reflect what a deployment would put on the network.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: int,
+        spec: LinkSpec,
+        profile: CostProfile,
+        switch: Switch,
+        config: Optional[ProtocolConfig] = None,
+        timeouts: Optional[MembershipTimeouts] = None,
+        payload_size: int = 1350,
+        peers: Tuple[int, ...] = (),
+        gossip_config: Optional[GossipConfig] = None,
+        gossip_seed: int = 0,
+    ) -> None:
+        #: Static host list the detector boots from (a restarted daemon
+        #: re-reads its config file; it does NOT remember incarnations).
+        self._peers = tuple(peers)
+        self._gossip_config = gossip_config or GossipConfig()
+        self._gossip_seed = gossip_seed
+        super().__init__(sim, pid, spec, profile, switch,
+                         config, timeouts, payload_size)
+        self.process.probes_enabled = False
+        self.detector = self._make_detector()
+        self._gossip_ticker = sim.spawn(
+            self._gossip_loop(), "gossiptick%d" % pid
+        )
+
+    def _make_detector(self) -> GossipDetector:
+        detector = GossipDetector(
+            self.pid,
+            self._gossip_config,
+            # New incarnation -> new probe/jitter stream, still
+            # deterministic for a given (cluster seed, pid, restart#).
+            seed=self._gossip_seed * 1000003 + self.incarnation,
+        )
+        detector.seed_members(self._peers)
+        return detector
+
+    # -- fault controls ----------------------------------------------------
+
+    def crash(self) -> None:
+        if self.crashed:
+            return
+        super().crash()
+        self._gossip_ticker.interrupt()
+
+    def restart(self) -> None:
+        super().restart()
+        self.process.probes_enabled = False
+        self.detector = self._make_detector()
+        self._gossip_ticker = self.sim.spawn(
+            self._gossip_loop(),
+            "gossiptick%d.%d" % (self.pid, self.incarnation),
+        )
+
+    # -- gossip glue -------------------------------------------------------
+
+    @staticmethod
+    def _gossip_size(message: Any) -> int:
+        base = (
+            GOSSIP_REQ_BASE_SIZE
+            if isinstance(message, GossipPingReq)
+            else GOSSIP_BASE_SIZE
+        )
+        return base + len(message.updates) * GOSSIP_UPDATE_SIZE
+
+    def _dispatch_gossip(self, sends, events) -> None:
+        for dst, message in sends:
+            if dst == self.pid:
+                continue
+            frame = Frame(self.pid, dst, Traffic.DATA,
+                          self._gossip_size(message), (_CTRL, message))
+            self.ctrl_frames_sent += 1
+            self.ctrl_bytes_sent += frame.size
+            self.nic.send(frame)
+        for event in events:
+            if isinstance(event, PeerConfirm):
+                self._route(self.process.notify_peer_failed(event.pid))
+            elif isinstance(event, PeerAlive):
+                self._route(self.process.notify_peer_alive(event.pid))
+            # PeerSuspect is advisory: membership waits for the
+            # confirm so one dropped ack can't force a view change.
+
+    def _handle_ctrl(self, message: Any, src: int) -> None:
+        if isinstance(message, GOSSIP_MESSAGE_TYPES):
+            sends, events = self.detector.handle(message, src)
+            self._dispatch_gossip(sends, events)
+            return
+        super()._handle_ctrl(message, src)
+
+    def _gossip_loop(self):
+        while True:
+            yield Timeout(self.TICK_INTERVAL_S)
+            sends, events = self.detector.tick()
+            self._dispatch_gossip(sends, events)
+
+
 class SimEVSCluster:
     """N membership-running nodes on one simulated switch."""
 
@@ -215,14 +357,29 @@ class SimEVSCluster:
         profile: CostProfile,
         config: Optional[ProtocolConfig] = None,
         timeouts: Optional[MembershipTimeouts] = None,
+        gossip: bool = False,
+        gossip_config: Optional[GossipConfig] = None,
+        gossip_seed: int = 0,
     ) -> None:
         self.sim = Simulator()
         self.switch = Switch(self.sim, spec)
-        self.nodes: Dict[int, SimEVSNode] = {
-            pid: SimEVSNode(self.sim, pid, spec, profile, self.switch,
-                            config, timeouts)
-            for pid in range(n_nodes)
-        }
+        self.gossip = gossip
+        if gossip:
+            peers = tuple(range(n_nodes))
+            self.nodes: Dict[int, SimEVSNode] = {
+                pid: GossipSimNode(self.sim, pid, spec, profile,
+                                   self.switch, config, timeouts,
+                                   peers=peers,
+                                   gossip_config=gossip_config,
+                                   gossip_seed=gossip_seed)
+                for pid in range(n_nodes)
+            }
+        else:
+            self.nodes = {
+                pid: SimEVSNode(self.sim, pid, spec, profile, self.switch,
+                                config, timeouts)
+                for pid in range(n_nodes)
+            }
 
     def run_for(self, seconds: float) -> None:
         self.sim.run(until=self.sim.now + seconds)
@@ -252,6 +409,25 @@ class SimEVSCluster:
             for incarnation, log in node.incarnation_logs():
                 collected[(pid, incarnation)] = log
         return collected
+
+    def ctrl_traffic(self) -> Dict[str, float]:
+        """Aggregate control-plane load (frames/bytes, plus per-node
+        send rate in frames per simulated second)."""
+        frames_sent = sum(n.ctrl_frames_sent for n in self.nodes.values())
+        bytes_sent = sum(n.ctrl_bytes_sent for n in self.nodes.values())
+        frames_received = sum(
+            n.ctrl_frames_received for n in self.nodes.values()
+        )
+        elapsed = self.sim.now
+        per_node_hz = (
+            frames_sent / (elapsed * len(self.nodes)) if elapsed > 0 else 0.0
+        )
+        return {
+            "ctrl_frames_sent": frames_sent,
+            "ctrl_bytes_sent": bytes_sent,
+            "ctrl_frames_received": frames_received,
+            "ctrl_frames_per_node_per_s": per_node_hz,
+        }
 
     # -- convergence --------------------------------------------------------
 

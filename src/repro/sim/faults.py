@@ -16,7 +16,8 @@ cluster construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..net import Traffic
@@ -96,7 +97,48 @@ class LossSwap:
     pids: Optional[Tuple[int, ...]] = None
 
 
+@dataclass(frozen=True)
+class Flap:
+    """Recurring crash/restart of one node (a flapping daemon).
+
+    Starting at ``at_s``: crash ``pid``, restart it ``down_s`` later,
+    and repeat the cycle every ``period_s`` until ``repeats`` cycles
+    have run.  The event reschedules itself through the event engine
+    with a strictly decreasing repeat count, so execution always
+    terminates and serialization stays a single declarative entry.
+    """
+
+    at_s: float
+    pid: int
+    down_s: float = 0.1
+    period_s: float = 0.4
+    repeats: int = 3
+
+
+@dataclass(frozen=True)
+class Churn:
+    """Sustained seeded churn over a pool of nodes.
+
+    Every ``period_s`` (``repeats`` times), pick a deterministic victim
+    among the not-currently-crashed members of ``pids`` (seeded by
+    ``(seed, remaining repeats)``, so the victim sequence is a pure
+    function of the event), crash it, and restart it ``down_s`` later.
+    A victim is only taken when at least two candidates are live, so
+    churn alone never extinguishes the pool.
+    """
+
+    at_s: float
+    pids: Tuple[int, ...]
+    down_s: float = 0.15
+    period_s: float = 0.5
+    repeats: int = 5
+    seed: int = 0
+
+
 FaultEvent = Any  # union of the event dataclasses above
+
+#: Recurring events carry a ``repeats`` count the shrinker may lower.
+RECURRING_KINDS = (Flap, Churn)
 
 _EVENT_KINDS = {
     "crash": Crash,
@@ -105,6 +147,8 @@ _EVENT_KINDS = {
     "heal": Heal,
     "token_drop": TokenDrop,
     "loss_swap": LossSwap,
+    "flap": Flap,
+    "churn": Churn,
 }
 _KIND_OF = {cls: kind for kind, cls in _EVENT_KINDS.items()}
 
@@ -145,18 +189,31 @@ class FaultSchedule:
 
     def __post_init__(self) -> None:
         for event in self.events:
-            if event.at_s < 0:
-                raise FaultScheduleError("event before t=0: %r" % (event,))
+            self._validate(event)
         # Stable sort: ties keep authoring order, so execution order is
         # part of the schedule's identity (and of its serialization).
         self.events = sorted(self.events, key=lambda e: e.at_s)
+
+    @staticmethod
+    def _validate(event: FaultEvent) -> None:
+        if event.at_s < 0:
+            raise FaultScheduleError("event before t=0: %r" % (event,))
+        if isinstance(event, RECURRING_KINDS):
+            if event.repeats < 1:
+                raise FaultScheduleError(
+                    "recurring event needs repeats >= 1: %r" % (event,)
+                )
+            if event.period_s <= 0 or event.down_s < 0:
+                raise FaultScheduleError(
+                    "recurring event needs period_s > 0 and down_s >= 0: "
+                    "%r" % (event,)
+                )
 
     def __len__(self) -> int:
         return len(self.events)
 
     def add(self, event: FaultEvent) -> "FaultSchedule":
-        if event.at_s < 0:
-            raise FaultScheduleError("event before t=0: %r" % (event,))
+        self._validate(event)
         self.events.append(event)
         self.events.sort(key=lambda e: e.at_s)
         return self
@@ -166,6 +223,27 @@ class FaultSchedule:
         return FaultSchedule(
             [e for i, e in enumerate(self.events) if i != index]
         )
+
+    def weakened(self, index: int) -> List["FaultSchedule"]:
+        """Strictly-smaller variants of the index-th event, for shrinking.
+
+        Recurring events shrink by lowering ``repeats`` (try a single
+        cycle first, then half).  Every candidate strictly reduces the
+        schedule's total repeat count, so a shrink loop that only
+        accepts candidates from here (or :meth:`without`) terminates.
+        """
+        event = self.events[index]
+        if not isinstance(event, RECURRING_KINDS) or event.repeats <= 1:
+            return []
+        candidates = []
+        for repeats in sorted({1, event.repeats // 2}):
+            if repeats < event.repeats:
+                smaller = replace(event, repeats=repeats)
+                candidates.append(FaultSchedule(
+                    [smaller if i == index else e
+                     for i, e in enumerate(self.events)]
+                ))
+        return candidates
 
     # -- execution ----------------------------------------------------------
 
@@ -192,6 +270,45 @@ class FaultSchedule:
             cluster.set_partition(*event.groups)
         elif kind is Heal:
             cluster.heal()
+        elif kind is Flap:
+            now = cluster.sim.now
+            cluster.crash(event.pid)
+            cluster.sim.call_at(
+                now + event.down_s,
+                FaultSchedule._restart_if_crashed, event.pid, cluster,
+            )
+            if event.repeats > 1:
+                cluster.sim.call_at(
+                    now + event.period_s,
+                    FaultSchedule._apply,
+                    replace(event, repeats=event.repeats - 1),
+                    cluster,
+                )
+        elif kind is Churn:
+            now = cluster.sim.now
+            # Victim choice is a pure function of (seed, remaining
+            # repeats) plus who happens to be live — deterministic for
+            # a deterministic run.
+            rng = random.Random(
+                (event.seed * 0x9E3779B1 + event.repeats) & 0xFFFFFFFF
+            )
+            live = [
+                pid for pid in event.pids if not cluster.nodes[pid].crashed
+            ]
+            if len(live) >= 2:
+                victim = rng.choice(live)
+                cluster.crash(victim)
+                cluster.sim.call_at(
+                    now + event.down_s,
+                    FaultSchedule._restart_if_crashed, victim, cluster,
+                )
+            if event.repeats > 1:
+                cluster.sim.call_at(
+                    now + event.period_s,
+                    FaultSchedule._apply,
+                    replace(event, repeats=event.repeats - 1),
+                    cluster,
+                )
         elif kind is TokenDrop:
             cluster.switch.add_fault_filter(
                 _TokenDropFilter(cluster.switch, event.count)
@@ -209,6 +326,13 @@ class FaultSchedule:
                     )
         else:
             raise FaultScheduleError("unknown fault event %r" % (event,))
+
+    @staticmethod
+    def _restart_if_crashed(pid: int, cluster) -> None:
+        # Guarded: an overlapping schedule (or the campaign cleanup)
+        # may have restarted the node already.
+        if cluster.nodes[pid].crashed:
+            cluster.restart(pid)
 
     # -- serialization ------------------------------------------------------
 
@@ -241,6 +365,8 @@ class FaultSchedule:
                     tuple(group) for group in entry["groups"]
                 )
             if event_cls is LossSwap and entry.get("pids") is not None:
+                entry["pids"] = tuple(entry["pids"])
+            if event_cls is Churn:
                 entry["pids"] = tuple(entry["pids"])
             events.append(event_cls(**entry))
         return cls(events)

@@ -19,6 +19,9 @@ anything.
 
 from .codec import (
     DATA_HEADER_SIZE,
+    GOSSIP_BASE_SIZE,
+    GOSSIP_REQ_BASE_SIZE,
+    GOSSIP_UPDATE_SIZE,
     HEADER_SIZE,
     MAX_RTR_SEQ,
     WIRE_VERSION,
@@ -43,6 +46,9 @@ from .capture import (
 
 __all__ = [
     "DATA_HEADER_SIZE",
+    "GOSSIP_BASE_SIZE",
+    "GOSSIP_REQ_BASE_SIZE",
+    "GOSSIP_UPDATE_SIZE",
     "HEADER_SIZE",
     "MAX_RTR_SEQ",
     "WIRE_VERSION",

@@ -46,6 +46,12 @@ from ..core.messages import (
 )
 from ..core.coalesce import JumboDatagram
 from ..core.packing import PackedItem, PackedPayload
+from ..membership.gossip import (
+    GossipAck,
+    GossipPing,
+    GossipPingReq,
+    GossipUpdate,
+)
 from ..membership.messages import (
     CommitToken,
     JoinMessage,
@@ -96,6 +102,9 @@ TYPE_COMMIT_TOKEN = 5
 TYPE_RECOVERY_DATA = 6
 TYPE_RECOVERY_COMPLETE = 7
 TYPE_JUMBO = 8
+TYPE_GOSSIP_PING = 9
+TYPE_GOSSIP_PING_REQ = 10
+TYPE_GOSSIP_ACK = 11
 
 TYPE_NAMES = {
     TYPE_DATA: "data",
@@ -106,6 +115,9 @@ TYPE_NAMES = {
     TYPE_RECOVERY_DATA: "recovery-data",
     TYPE_RECOVERY_COMPLETE: "recovery-complete",
     TYPE_JUMBO: "jumbo",
+    TYPE_GOSSIP_PING: "gossip-ping",
+    TYPE_GOSSIP_PING_REQ: "gossip-ping-req",
+    TYPE_GOSSIP_ACK: "gossip-ack",
 }
 
 # -- fixed body layouts ------------------------------------------------------
@@ -140,6 +152,20 @@ _PAYLOAD_VALUE = 2
 _JUMBO_ENTRY = struct.Struct("<BI")
 
 _PROBE_BODY = struct.Struct("<QQ")            # sender, ring_id
+# sender, incarnation, probe_id (ping/ack); ping-req adds a target.
+# The piggybacked update list (u32 count + entries) follows the fixed part.
+_GOSSIP_BODY = struct.Struct("<QQQ")
+_GOSSIP_REQ_BODY = struct.Struct("<QQQQ")
+_GOSSIP_UPDATE = struct.Struct("<QQB")        # pid, incarnation, status
+#: Wire framing of a gossip ping/ack with no piggybacked updates
+#: (header + fixed body + update count); each update adds
+#: GOSSIP_UPDATE_SIZE bytes.  The sim charges these sizes for gossip
+#: frames, and ``tests/test_wire_gossip.py`` fails if codec and
+#: constant drift.
+GOSSIP_BASE_SIZE = HEADER_SIZE + _GOSSIP_BODY.size + 4       # 40
+GOSSIP_REQ_BASE_SIZE = HEADER_SIZE + _GOSSIP_REQ_BODY.size + 4  # 48
+GOSSIP_UPDATE_SIZE = _GOSSIP_UPDATE.size        # 17
+_GOSSIP_MAX_STATUS = 2
 _JOIN_BODY = struct.Struct("<QQ")             # sender, ring_seq
 _COMMIT_BODY = struct.Struct("<QIII")         # new_ring_id, rotation, members, collected
 _MEMBER_INFO = struct.Struct("<Qqqqqq")       # pid, old_ring_id?, aru, high, safe, delivered
@@ -415,6 +441,25 @@ def _encode_member_info(info: MemberInfo) -> bytes:
     return fixed + members
 
 
+def _encode_gossip_updates(updates) -> bytes:
+    parts = [_u32(len(updates), "gossip update count")]
+    for update in updates:
+        if type(update) is not GossipUpdate:
+            raise EncodeError(
+                "gossip updates must be GossipUpdate, got %s"
+                % type(update).__name__
+            )
+        status = update.status
+        if not isinstance(status, int) or not 0 <= status <= _GOSSIP_MAX_STATUS:
+            raise EncodeError("gossip status %r out of range" % (status,))
+        parts.append(_GOSSIP_UPDATE.pack(
+            _check_u64(update.pid, "gossip pid"),
+            _check_u64(update.incarnation, "gossip incarnation"),
+            status,
+        ))
+    return b"".join(parts)
+
+
 def _frame(msg_type: int, body: bytes) -> bytes:
     return _HEADER.pack(
         MAGIC, WIRE_VERSION, msg_type, len(body), zlib.crc32(body) & 0xFFFFFFFF
@@ -476,6 +521,23 @@ def encode(message: Any, ring_id: int = 0) -> bytes:
         ))
     if kind is JumboDatagram:
         return _frame(TYPE_JUMBO, _encode_jumbo_body(message.messages, ring_id))
+    if kind is GossipPing or kind is GossipAck:
+        body = _GOSSIP_BODY.pack(
+            _check_u64(message.sender, "sender"),
+            _check_u64(message.incarnation, "incarnation"),
+            _check_u64(message.probe_id, "probe_id"),
+        ) + _encode_gossip_updates(message.updates)
+        return _frame(
+            TYPE_GOSSIP_PING if kind is GossipPing else TYPE_GOSSIP_ACK, body
+        )
+    if kind is GossipPingReq:
+        body = _GOSSIP_REQ_BODY.pack(
+            _check_u64(message.sender, "sender"),
+            _check_u64(message.incarnation, "incarnation"),
+            _check_u64(message.target, "target"),
+            _check_u64(message.probe_id, "probe_id"),
+        ) + _encode_gossip_updates(message.updates)
+        return _frame(TYPE_GOSSIP_PING_REQ, body)
     raise EncodeError(
         "no top-level wire encoding for %s" % kind.__name__
     )
@@ -1006,10 +1068,37 @@ def _decode_control(blob, msg_type: int, end: int) -> Tuple[Any, int]:
         sender, new_ring_id = reader.unpack(_RECOVERY_DONE_BODY)
         message = RecoveryComplete(sender=sender, new_ring_id=new_ring_id)
         ring_id = new_ring_id
+    elif msg_type in (TYPE_GOSSIP_PING, TYPE_GOSSIP_ACK):
+        sender, incarnation, probe_id = reader.unpack(_GOSSIP_BODY)
+        updates = _decode_gossip_updates(reader)
+        cls = GossipPing if msg_type == TYPE_GOSSIP_PING else GossipAck
+        message = cls(
+            sender=sender, incarnation=incarnation,
+            probe_id=probe_id, updates=updates,
+        )
+    elif msg_type == TYPE_GOSSIP_PING_REQ:
+        sender, incarnation, target, probe_id = reader.unpack(_GOSSIP_REQ_BODY)
+        updates = _decode_gossip_updates(reader)
+        message = GossipPingReq(
+            sender=sender, incarnation=incarnation, target=target,
+            probe_id=probe_id, updates=updates,
+        )
     else:
         raise DecodeError("unknown message type %d" % msg_type)
     reader.done()
     return message, ring_id
+
+
+def _decode_gossip_updates(reader: _Reader) -> Tuple[GossipUpdate, ...]:
+    (count,) = reader.unpack(_U32)
+    _check_count(count, reader, _GOSSIP_UPDATE.size)
+    updates = []
+    for _ in range(count):
+        pid, incarnation, status = reader.unpack(_GOSSIP_UPDATE)
+        if status > _GOSSIP_MAX_STATUS:
+            raise DecodeError("unknown gossip status %d" % status)
+        updates.append(GossipUpdate(pid, incarnation, status))
+    return tuple(updates)
 
 
 def decode_detail(blob) -> Decoded:

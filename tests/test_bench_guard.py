@@ -7,7 +7,7 @@ import pytest
 from repro.bench import guard
 
 
-def write_records(directory, kernel=None, codec=None):
+def write_records(directory, kernel=None, codec=None, churn=None):
     directory.mkdir(parents=True, exist_ok=True)
     kernel_record = {
         "events_per_sec_best": 3_000_000,
@@ -24,8 +24,20 @@ def write_records(directory, kernel=None, codec=None):
     }
     if codec:
         codec_record["msgs_per_sec"].update(codec)
+    churn_record = {
+        "metrics": {
+            "crash_convergence_rate_hz": 8.0,
+            "rejoin_convergence_rate_hz": 50.0,
+            "ctrl_traffic_headroom": 5.0,
+        },
+    }
+    if churn:
+        churn_record["metrics"].update(churn)
     (directory / "kernel.json").write_text(json.dumps(kernel_record))
     (directory / "codec.json").write_text(json.dumps(codec_record))
+    (directory / "churn_convergence.json").write_text(
+        json.dumps(churn_record)
+    )
 
 
 def test_identical_records_pass(tmp_path):
@@ -34,7 +46,7 @@ def test_identical_records_pass(tmp_path):
     regressions, lines = guard.compare(
         str(tmp_path / "base"), str(tmp_path / "fresh"))
     assert regressions == []
-    assert sum(1 for _ in lines) == 6  # every guarded metric reported
+    assert sum(1 for _ in lines) == 9  # every guarded metric reported
 
 
 def test_slowdown_within_tolerance_passes(tmp_path):

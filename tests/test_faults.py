@@ -4,9 +4,11 @@ import pytest
 
 from repro.net import Frame, GIGABIT, Simulator, Switch, Traffic
 from repro.sim import (
+    Churn,
     Crash,
     FaultSchedule,
     FaultScheduleError,
+    Flap,
     Heal,
     LossSwap,
     Partition,
@@ -15,6 +17,7 @@ from repro.sim import (
     TokenDrop,
     LIBRARY,
 )
+from repro.sim.campaign import shrink_schedule
 from repro.sim.faults import _TokenDropFilter
 from repro.core import ProtocolConfig
 from repro.evs import EVSChecker
@@ -118,6 +121,129 @@ def test_schedule_install_fires_events_in_order():
         ("filter", 2),
         ("loss", 0), ("loss", 1),
     ]
+
+
+def test_recurring_events_json_roundtrip():
+    schedule = FaultSchedule([
+        Flap(0.1, pid=1, down_s=0.05, period_s=0.3, repeats=4),
+        Churn(0.2, pids=(0, 2, 3), down_s=0.1, period_s=0.5,
+              repeats=6, seed=9),
+    ])
+    data = schedule.to_jsonable()
+    rebuilt = FaultSchedule.from_jsonable(data)
+    assert rebuilt.events == schedule.events
+    # pids survive the JSON list detour as a tuple.
+    churn = next(e for e in rebuilt.events if isinstance(e, Churn))
+    assert churn.pids == (0, 2, 3)
+
+
+def test_recurring_events_validate_their_knobs():
+    with pytest.raises(FaultScheduleError):
+        FaultSchedule([Flap(0.1, pid=1, repeats=0)])
+    with pytest.raises(FaultScheduleError):
+        FaultSchedule([Churn(0.1, pids=(0, 1), period_s=0.0)])
+    with pytest.raises(FaultScheduleError):
+        FaultSchedule([Flap(0.1, pid=1, down_s=-0.1)])
+
+
+def test_weakened_lowers_repeats_strictly():
+    schedule = FaultSchedule([Churn(0.1, pids=(0, 1, 2), repeats=6)])
+    candidates = schedule.weakened(0)
+    repeats = sorted(c.events[0].repeats for c in candidates)
+    assert repeats == [1, 3]
+    # Non-recurring events and single-cycle recurring events don't
+    # weaken: removal (without) is their only shrink.
+    assert FaultSchedule([Crash(0.1, 0)]).weakened(0) == []
+    assert FaultSchedule([Flap(0.1, pid=1, repeats=1)]).weakened(0) == []
+
+
+def test_shrink_terminates_on_recurring_events():
+    # A failure that needs *some* churn: the shrinker must drop the
+    # flap, then weaken the churn's repeat count — and terminate even
+    # though the weakening candidates themselves keep "failing"
+    # (measure: event count, then total repeats, strictly decreases).
+    schedule = FaultSchedule([
+        Flap(0.1, pid=1, repeats=8),
+        Churn(0.2, pids=(0, 2), repeats=8),
+    ])
+    trials = []
+
+    def fails(candidate):
+        trials.append(candidate)
+        return any(isinstance(e, Churn) for e in candidate.events)
+
+    shrunk = shrink_schedule(schedule, fails)
+    assert [type(e) for e in shrunk.events] == [Churn]
+    assert shrunk.events[0].repeats == 1
+    assert len(trials) < 50  # no livelock re-trying equal candidates
+
+
+def test_shrink_empties_schedule_when_failure_is_unconditional():
+    schedule = FaultSchedule([
+        Flap(0.1, pid=1, repeats=8),
+        Churn(0.2, pids=(0, 2), repeats=8),
+    ])
+    shrunk = shrink_schedule(schedule, lambda candidate: True)
+    assert len(shrunk) == 0
+
+
+def test_flap_crashes_and_restarts_on_schedule():
+    calls = []
+
+    class FlapCluster:
+        def __init__(self):
+            self.sim = Simulator()
+            self.nodes = {1: type("N", (), {"crashed": False})()}
+
+        def crash(self, pid):
+            self.nodes[pid].crashed = True
+            calls.append(("crash", pid, round(self.sim.now, 6)))
+
+        def restart(self, pid):
+            self.nodes[pid].crashed = False
+            calls.append(("restart", pid, round(self.sim.now, 6)))
+
+    cluster = FlapCluster()
+    FaultSchedule([
+        Flap(0.1, pid=1, down_s=0.05, period_s=0.2, repeats=3),
+    ]).install(cluster, base_time_s=0.0)
+    cluster.sim.run(until=2.0)
+    assert calls == [
+        ("crash", 1, 0.1), ("restart", 1, 0.15),
+        ("crash", 1, 0.3), ("restart", 1, 0.35),
+        ("crash", 1, 0.5), ("restart", 1, 0.55),
+    ]
+
+
+def test_churn_never_extinguishes_the_pool():
+    # With a pool of two and a long down time, cycle k+1 arrives while
+    # cycle k's victim is still down: only one candidate is live, so
+    # the generator must skip rather than crash the last node.
+    crashes = []
+
+    class ChurnCluster:
+        def __init__(self):
+            self.sim = Simulator()
+            self.nodes = {
+                pid: type("N", (), {"crashed": False})() for pid in (0, 1)
+            }
+
+        def crash(self, pid):
+            self.nodes[pid].crashed = True
+            crashes.append((pid, round(self.sim.now, 6)))
+            live = [p for p, n in self.nodes.items() if not n.crashed]
+            assert live, "churn extinguished the pool"
+
+        def restart(self, pid):
+            self.nodes[pid].crashed = False
+
+    cluster = ChurnCluster()
+    FaultSchedule([
+        Churn(0.1, pids=(0, 1), down_s=0.3, period_s=0.2,
+              repeats=5, seed=4),
+    ]).install(cluster, base_time_s=0.0)
+    cluster.sim.run(until=3.0)
+    assert crashes  # it did churn when it safely could
 
 
 def test_token_drop_filter_swallows_n_tokens_then_detaches():

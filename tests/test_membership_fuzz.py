@@ -12,8 +12,18 @@ from hypothesis import given, settings, HealthCheck
 from hypothesis import strategies as st
 
 from repro.core import Service
+from repro.evs import EVSChecker
 from repro.evs.semantics import check_all
 from repro.harness.evsnet import EVSNetwork
+from repro.membership import MembershipTimeouts
+
+#: Timeouts scaled for 50-process gathers under the harness's
+#: one-control-message-per-step drain model (a gather window must fit
+#: reading every peer's join with slack for commit traffic).
+CHURN_TIMEOUTS = MembershipTimeouts(
+    token_loss_ticks=200, gather_ticks=160,
+    commit_ticks=320, probe_interval_ticks=80,
+)
 
 
 def live(net):
@@ -47,6 +57,94 @@ def test_pinned_livelock_schedules_converge(seed, n, operations):
     run_schedule(seed, n, operations)
 
 
+@pytest.mark.parametrize("seed", [2, 3, 6])
+def test_pinned_churn_meltdown_schedules_converge(seed):
+    """Regression: 50-process churn schedules that melted the control
+    plane down.
+
+    With the join cooldown at one tick per member, the aggregate join
+    arrival rate at each process (peer cooldown broadcasts plus
+    gather-timeout rebroadcasts) exceeded the one-message-per-step
+    drain capacity at n=50: the control backlog diverged, every
+    process argued with an ever-staler past, silence strikes failed
+    live members, and membership never converged.  Fixed by widening
+    the cooldown to two ticks per member, which keeps the steady-state
+    arrival rate strictly below the drain rate.
+    """
+    run_churn_schedule(seed, n=50, operations=10)
+
+
+def test_restart_cannot_reuse_ring_id():
+    """Regression: an amnesiac restart re-minted an old ring id.
+
+    A process isolated from boot installs singleton ring (seq 1, rep
+    pid) and delivers a message under it; after a crash and restart
+    its ring-sequence counter restarted from zero, so the new
+    incarnation installed the SAME ring id and delivered different
+    messages under it — two distinct configurations sharing one
+    identity, which the checker flags as a virtual synchrony
+    violation.  Fixed by carrying the ring epoch across restarts
+    (Totem's stable-storage ring sequence number).
+    """
+    net = EVSNetwork(range(3))
+    net.set_partition([0, 1], [2])
+    net.run_until_converged()
+    inc0_ring = net.processes[2].ring.ring_id
+    net.submit(2, "inc0-msg")
+    net.run_quiet(200)
+    net.crash(2)
+    net.run_quiet(20)
+    net.restart(2)
+    net.set_partition([0, 1], [2])  # keep the reboot isolated too
+    net.run_until_converged()
+    assert net.processes[2].ring.ring_id != inc0_ring
+    net.submit(2, "inc1-msg")
+    net.run_quiet(200)
+    net.heal()
+    net.run_until_converged()
+    net.run_quiet(100)
+    checker = EVSChecker()
+    checker.check_logs(net.logs())
+    checker.assert_ok()
+
+
+def run_churn_schedule(seed, n, operations):
+    """Sustained crash/restart/partition churn at scale, EVS-checked
+    across every incarnation's log."""
+    rng = random.Random(seed)
+    net = EVSNetwork(range(n), timeouts=CHURN_TIMEOUTS)
+    net.run_until_converged(max_steps=60_000)
+    counter = 0
+    for _op in range(operations):
+        alive = sorted(set(net.pids) - net.crashed)
+        for pid in rng.sample(alive, min(3, len(alive))):
+            net.submit(pid, "m%d.%d" % (pid, counter))
+            counter += 1
+        op = rng.choice(
+            ["crash", "restart", "crash", "restart", "partition", "heal"]
+        )
+        if op == "crash" and len(alive) > 2:
+            net.crash(rng.choice(alive))
+        elif op == "restart" and net.crashed:
+            net.restart(rng.choice(sorted(net.crashed)))
+        elif op == "partition" and len(alive) > 3:
+            cut = rng.randint(1, len(alive) - 1)
+            shuffled = alive[:]
+            rng.shuffle(shuffled)
+            net.set_partition(shuffled[:cut], shuffled[cut:])
+        elif op == "heal":
+            net.heal()
+        net.run_quiet(rng.randint(20, 300))
+    net.heal()
+    for pid in sorted(net.crashed):
+        net.restart(pid)
+    net.run_until_converged(max_steps=120_000)
+    net.run_quiet(500)
+    checker = EVSChecker()
+    checker.check_logs(net.logs())
+    checker.assert_ok()
+
+
 @settings(max_examples=12, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(
@@ -56,6 +154,15 @@ def test_pinned_livelock_schedules_converge(seed, n, operations):
 )
 def test_random_fault_schedules_preserve_evs(seed, n, operations):
     run_schedule(seed, n, operations)
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_random_churn_schedules_preserve_evs(seed):
+    """Churn (crash AND restart) at a size where join flood pressure
+    is real, with multi-incarnation EVS checking."""
+    run_churn_schedule(seed, n=20, operations=6)
 
 
 def run_schedule(seed, n, operations):
