@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full bench-smoke bench-guard campaign-smoke churn-smoke wire-fuzz-smoke examples figures clean
+.PHONY: install test test-fast bench bench-full bench-smoke bench-guard campaign-smoke churn-smoke obs-smoke wire-fuzz-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -30,15 +30,16 @@ bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_codec_throughput.py -q
 	@cat bench_results/kernel.json bench_results/codec.json
 
-# Regression guard: regenerate the kernel and codec records into a
-# scratch directory and compare against the committed baselines in
-# bench_results/; any guarded metric more than 20% below its baseline
-# fails.  This is what CI runs.
+# Regression guard: regenerate the kernel, codec and observability
+# records into a scratch directory and compare against the committed
+# baselines in bench_results/; any guarded metric more than 20% below
+# its baseline fails.  This is what CI runs.
 bench-guard:
 	rm -rf bench_results/fresh
 	REPRO_BENCH_RESULTS=bench_results/fresh \
 		$(PYTHON) -m pytest benchmarks/test_kernel_events_per_sec.py \
-		benchmarks/test_codec_throughput.py -q
+		benchmarks/test_codec_throughput.py \
+		benchmarks/test_obs_overhead.py -q
 	$(PYTHON) -m repro.cli churn --sweep \
 		--out bench_results/fresh/churn_convergence.json
 	$(PYTHON) -m repro.bench.guard --baseline bench_results \
@@ -60,6 +61,19 @@ campaign-smoke:
 churn-smoke:
 	$(PYTHON) -m pytest tests/test_gossip.py tests/test_churn_campaign.py -q
 	$(PYTHON) -m repro.cli churn --nodes 50 --seed 1
+
+# Observability smoke: the obs unit/property suites, then the full
+# artifact loop — a seeded traced run writes the reference trace and
+# metrics snapshot into a scratch directory, and both CLI renderers
+# must exit 0 over them.  This is what CI runs.
+obs-smoke:
+	$(PYTHON) -m pytest tests/test_obs_registry.py tests/test_obs_trace.py \
+		tests/test_metrics_conservation.py -q
+	rm -rf bench_results/fresh/obs
+	$(PYTHON) -m repro.cli obs-sample --out-dir bench_results/fresh/obs
+	$(PYTHON) -m repro.cli trace-analyze \
+		bench_results/fresh/obs/sim_sample.rtrace
+	$(PYTHON) -m repro.cli report bench_results/fresh/obs/metrics_sample.json
 
 # Bounded fuzz pass over the wire codec: the hypothesis property suites
 # at a raised example budget, plus the live-daemon malformed-datagram

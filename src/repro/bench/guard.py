@@ -1,7 +1,8 @@
 """Benchmark regression guard: fresh run vs committed baseline.
 
 CI regenerates the guarded records (``kernel.json``, ``codec.json``,
-``churn_convergence.json``) into a scratch directory and then runs::
+``churn_convergence.json``, ``obs_overhead.json``) into a scratch
+directory and then runs::
 
     python -m repro.bench.guard --baseline bench_results --fresh <dir>
 
@@ -46,6 +47,14 @@ GUARDED_METRICS: Dict[str, Tuple[str, ...]] = {
         "metrics.crash_convergence_rate_hz",
         "metrics.rejoin_convergence_rate_hz",
         "metrics.ctrl_traffic_headroom",
+    ),
+    # Observability cost: the sim-mix with tracing off must track the
+    # kernel envelope, and the on/off ratio (a machine-independent
+    # fraction) guards the "tracing stays cheap" promise.
+    "obs_overhead.json": (
+        "sim_events_per_sec_off_best",
+        "sim_events_per_sec_on_best",
+        "tracing_throughput_ratio",
     ),
 }
 

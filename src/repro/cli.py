@@ -22,6 +22,14 @@ UDP transport)::
     python -m repro.cli decode bench_results/captures/sim_sample.rcap
     python -m repro.cli decode run.rcap --summary --limit 20
     python -m repro.cli capture-sample --out-dir bench_results/captures
+
+Observability (``repro.obs``): unified metrics snapshots and causal
+lifecycle traces (``.rtrace``)::
+
+    python -m repro.cli report                  # seeded run -> metrics table
+    python -m repro.cli report --json           # same, JSON snapshot
+    python -m repro.cli trace-analyze run.rtrace
+    python -m repro.cli obs-sample --out-dir bench_results/obs
 """
 
 from __future__ import annotations
@@ -272,6 +280,171 @@ def run_capture_sample_command(argv: List[str]) -> int:
     return 0
 
 
+def _traced_reference_run(seed: int, n_nodes: int, duration_s: float,
+                          offered_bps: float, trace: bool = True):
+    """One small seeded SimCluster run; the CLI observability workload.
+
+    Returns ``(cluster, result, tracer)``; ``tracer`` is None when
+    ``trace`` is False.  Warmup is zero and packing stays off so every
+    delivery chain in the trace reconciles exactly against the latency
+    recorder.
+    """
+    from .core import ProtocolConfig
+    from .net import GIGABIT
+    from .sim import LIBRARY
+    from .sim.cluster import SimCluster
+
+    config = ProtocolConfig.accelerated(
+        personal_window=4, accelerated_window=2
+    )
+    cluster = SimCluster(n_nodes, GIGABIT, LIBRARY, config, seed=seed)
+    tracer = None
+    if trace:
+        tracer = cluster.attach_tracer(
+            label="SimCluster n=%d library agreed, seed=%d"
+                  % (n_nodes, seed)
+        )
+    cluster.inject_at_rate(offered_bps, duration_s)
+    result = cluster.run(duration_s, 0.0, offered_bps=offered_bps)
+    return cluster, result, tracer
+
+
+def run_report_command(argv: List[str]) -> int:
+    """The ``report`` tool: metrics-registry snapshot, table or JSON.
+
+    With a snapshot path, pretty-prints (or re-emits) an existing
+    registry snapshot; without one, runs the small seeded reference
+    workload and reports its live registry.
+    """
+    import json
+
+    from .obs.report import format_metrics
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli report",
+        description="Render a MetricsRegistry snapshot (existing JSON "
+                    "file, or a fresh seeded reference run).",
+    )
+    parser.add_argument(
+        "snapshot", nargs="?", default=None,
+        help="existing snapshot JSON to render (default: run the "
+             "seeded reference workload and snapshot it)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the JSON snapshot instead of the table",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON snapshot to PATH",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=0.02,
+                        help="simulated seconds (default: 0.02)")
+    parser.add_argument("--rate", type=float, default=200e6,
+                        help="offered load in bps (default: 200e6)")
+    args = parser.parse_args(argv)
+
+    if args.snapshot is not None:
+        with open(args.snapshot) as handle:
+            snapshot = json.load(handle)
+    else:
+        cluster, _result, _tracer = _traced_reference_run(
+            args.seed, args.nodes, args.duration, args.rate, trace=False,
+        )
+        snapshot = cluster.metrics.snapshot()
+
+    rendered = json.dumps(snapshot, indent=2, sort_keys=True)
+    if args.out is not None:
+        directory = os.path.dirname(args.out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print("wrote %s" % args.out, file=sys.stderr)
+    print(rendered if args.as_json else format_metrics(snapshot))
+    return 0
+
+
+def run_trace_analyze_command(argv: List[str]) -> int:
+    """The ``trace-analyze`` tool: decompose a lifecycle trace."""
+    import json
+
+    from .obs.report import analyze_path, format_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli trace-analyze",
+        description="Per-stage latency decomposition of a lifecycle "
+                    "trace (.rtrace binary or .jsonl).",
+    )
+    parser.add_argument("trace", help="path to the trace file")
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="how many slowest deliveries to list (default: 10)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full analysis as JSON instead of the report",
+    )
+    args = parser.parse_args(argv)
+    report = analyze_path(args.trace, top_n=args.top)
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    return 0
+
+
+def run_obs_sample_command(argv: List[str]) -> int:
+    """Produce the reference observability artifacts from one run.
+
+    One seeded sim run yields the committed sample trace (binary and
+    JSONL flavors carry identical records) and the matching metrics
+    snapshot; ``trace-analyze`` and ``report`` render them.
+    """
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli obs-sample",
+        description="Generate the reference .rtrace/.jsonl trace and "
+                    "metrics snapshot from a seeded sim run.",
+    )
+    parser.add_argument(
+        "--out-dir", default=os.path.join("bench_results", "obs"),
+        help="directory for sim_sample.rtrace/.jsonl and "
+             "metrics_sample.json",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=0.02,
+                        help="simulated seconds (default: 0.02)")
+    parser.add_argument("--rate", type=float, default=200e6,
+                        help="offered load in bps (default: 200e6)")
+    args = parser.parse_args(argv)
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    cluster, result, tracer = _traced_reference_run(
+        args.seed, args.nodes, args.duration, args.rate,
+    )
+    trace_path = tracer.write(
+        os.path.join(args.out_dir, "sim_sample.rtrace")
+    )
+    jsonl_path = tracer.write_jsonl(
+        os.path.join(args.out_dir, "sim_sample.jsonl")
+    )
+    print("wrote %s (%d records)" % (trace_path, len(tracer)))
+    print("wrote %s (%d records)" % (jsonl_path, len(tracer)))
+
+    metrics_path = os.path.join(args.out_dir, "metrics_sample.json")
+    cluster.metrics.write_json(metrics_path)
+    print("wrote %s (%d cluster metrics)"
+          % (metrics_path, len(cluster.metrics.names())))
+    print("run: %d latency samples, agreed mean %.1f us"
+          % (result.latency.count, result.latency.mean_s * 1e6))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -281,6 +454,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_capture_sample_command(argv[1:])
     if argv and argv[0] == "churn":
         return run_churn_command(argv[1:])
+    if argv and argv[0] == "report":
+        return run_report_command(argv[1:])
+    if argv and argv[0] == "trace-analyze":
+        return run_trace_analyze_command(argv[1:])
+    if argv and argv[0] == "obs-sample":
+        return run_obs_sample_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Reproduce figures from 'Fast Total Ordering for "
@@ -289,7 +468,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (e.g. fig1), 'all', 'list', 'campaign', "
-             "'churn', 'decode', or 'capture-sample'",
+             "'churn', 'decode', 'capture-sample', 'report', "
+             "'trace-analyze', or 'obs-sample'",
     )
     parser.add_argument(
         "--full", action="store_true",

@@ -75,7 +75,7 @@ class AcceleratedWindowTuner:
         if message.pid == self.participant.pid and message.sent_after_token:
             self._own_post_token_losses += 1
 
-    def _on_token_handled(self, pid: int, **_kwargs) -> None:
+    def _on_token_handled(self, pid: int, *_args) -> None:
         if pid != self.participant.pid:
             return
         self._rounds_in_epoch += 1

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from . import events as ev
 from .actions import Action, Deliver, Discard, SendData, SendToken
@@ -104,6 +104,32 @@ class Participant:
         self._sent_last_round = 0
         self._last_token_sent: Optional[Token] = None
         self._max_round_seen = 0
+        # Direct trace callbacks (repro.obs.lifecycle).  These bypass
+        # the event hub for the per-message stages a lifecycle tracer
+        # stamps: with only a tracer attached ``hub.active`` stays
+        # False, so every other gated emit keeps its counter-only fast
+        # path.  None when no tracer is attached — the three call sites
+        # pay one ``is not None`` test each.
+        self._trace_sent: Optional[Callable] = None
+        self._trace_received: Optional[Callable] = None
+        self._trace_token: Optional[Callable] = None
+
+    def set_trace_callbacks(
+        self,
+        sent: Optional[Callable] = None,
+        received: Optional[Callable] = None,
+        token: Optional[Callable] = None,
+    ) -> None:
+        """Install lifecycle-trace callbacks (see repro.obs.lifecycle).
+
+        ``sent(message)`` fires once per initiated message,
+        ``received(message)`` once per NEW data message accepted into
+        the buffer (duplicates are skipped), ``token(token_out,
+        allowed_new)`` once per regular-token handling.
+        """
+        self._trace_sent = sent
+        self._trace_received = received
+        self._trace_token = token
 
     # ------------------------------------------------------------------
     # Application-facing API
@@ -257,7 +283,7 @@ class Participant:
         if token.hop <= self._last_received_hop:
             # A retransmitted token we already handled.
             self.stats.duplicate_tokens += 1
-            self.hub.emit(ev.DUPLICATE_TOKEN, pid=self.pid, token=token)
+            self.hub.emit(ev.DUPLICATE_TOKEN, self.pid, token)
             return []
         self._last_received_hop = token.hop
         my_hop = token.hop + 1
@@ -270,7 +296,7 @@ class Participant:
         for message in answered:
             actions.append(SendData(message, retransmission=True))
             self.stats.retransmissions_sent += 1
-            self.hub.emit(ev.RETRANSMISSION_SENT, pid=self.pid, message=message)
+            self.hub.emit(ev.RETRANSMISSION_SENT, self.pid, message)
         num_retrans = len(answered)
 
         # -- flow control: how many new messages this round -------------
@@ -326,15 +352,13 @@ class Participant:
 
         self._priority.note_token_handled(my_hop)
         self.stats.tokens_handled += 1
+        if self._trace_token is not None:
+            self._trace_token(token_out, decision.allowed_new)
         hub = self.hub
         if hub.active:
             hub.emit(
-                ev.TOKEN_HANDLED,
-                pid=self.pid,
-                received=token,
-                sent=token_out,
-                new_messages=decision.allowed_new,
-                retransmissions=num_retrans,
+                ev.TOKEN_HANDLED, self.pid, token, token_out,
+                decision.allowed_new, num_retrans,
             )
         else:
             hub.counts[ev.TOKEN_HANDLED] += 1
@@ -363,13 +387,15 @@ class Participant:
         if not is_new:
             stats.data_duplicates += 1
             if active:
-                hub.emit(ev.DATA_RECEIVED, pid=self.pid, message=message, new=False)
+                hub.emit(ev.DATA_RECEIVED, self.pid, message, False)
             else:
                 counts[ev.DATA_RECEIVED] += 1
             return []
         stats.data_received += 1
+        if self._trace_received is not None:
+            self._trace_received(message)
         if active:
-            hub.emit(ev.DATA_RECEIVED, pid=self.pid, message=message, new=True)
+            hub.emit(ev.DATA_RECEIVED, self.pid, message, True)
         else:
             counts[ev.DATA_RECEIVED] += 1
         deliverable = self._delivery.collect_deliverable(self._buffer)
@@ -378,7 +404,7 @@ class Participant:
         stats.delivered += len(deliverable)
         if active:
             for delivered in deliverable:
-                hub.emit(ev.MESSAGE_DELIVERED, pid=self.pid, message=delivered)
+                hub.emit(ev.MESSAGE_DELIVERED, self.pid, delivered)
         else:
             counts[ev.MESSAGE_DELIVERED] += len(deliverable)
         return [Deliver(delivered) for delivered in deliverable]
@@ -433,13 +459,16 @@ class Participant:
         post = [m.as_post_token() for m in messages[split:]]
         hub = self.hub
         active = hub.active
+        trace_sent = self._trace_sent
         for message in pre + post:
             # Our own messages are in our buffer from the moment they are
             # prepared (the loopback copy, if any, is a duplicate).
             self._buffer.insert(message)
             self.stats.messages_initiated += 1
+            if trace_sent is not None:
+                trace_sent(message)
             if active:
-                hub.emit(ev.MESSAGE_SENT, pid=self.pid, message=message)
+                hub.emit(ev.MESSAGE_SENT, self.pid, message)
             else:
                 hub.counts[ev.MESSAGE_SENT] += 1
         return pre, post
@@ -449,7 +478,7 @@ class Participant:
         if missing:
             self.stats.retransmissions_requested += len(missing)
             self.hub.emit(
-                ev.RETRANSMISSION_REQUESTED, pid=self.pid, seqs=tuple(missing)
+                ev.RETRANSMISSION_REQUESTED, self.pid, tuple(missing)
             )
         return missing
 
@@ -483,7 +512,7 @@ class Participant:
             actions.append(Deliver(delivered))
             self.stats.delivered += 1
             if active:
-                hub.emit(ev.MESSAGE_DELIVERED, pid=self.pid, message=delivered)
+                hub.emit(ev.MESSAGE_DELIVERED, self.pid, delivered)
             else:
                 hub.counts[ev.MESSAGE_DELIVERED] += 1
         discard_to = self._delivery.discardable_upto()
@@ -491,7 +520,7 @@ class Participant:
         if released:
             actions.append(Discard(discard_to))
             self.stats.discarded += released
-            self.hub.emit(ev.MESSAGES_DISCARDED, pid=self.pid, upto=discard_to)
+            self.hub.emit(ev.MESSAGES_DISCARDED, self.pid, discard_to)
         return actions
 
     def __repr__(self) -> str:

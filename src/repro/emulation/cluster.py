@@ -6,6 +6,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from ..core import DataMessage, ProtocolConfig, Ring, Service
+from ..obs.registry import MetricsRegistry
 from ..wire.capture import CaptureWriter
 from .node import EmulatedNode
 from .transport import SendLossRule, UdpTransport
@@ -39,7 +40,45 @@ class EmulatedRing:
             pid: EmulatedNode(pid, self.ring, config, transports[pid])
             for pid in pids
         }
+        #: Shared monotonic epoch for captures and traces.
+        self.t0 = capture_t0
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
+        #: Lifecycle tracer, if attached (see :meth:`attach_tracer`).
+        self.tracer = None
         self._started = False
+
+    def _register_metrics(self) -> None:
+        """Bind every node's live counters into the unified registry."""
+        metrics = self.metrics
+        for pid, node in self.nodes.items():
+            node.transport.register_metrics(metrics, node=pid)
+            metrics.bind("emulation.node.tokens_resent", node,
+                         "tokens_resent", node=pid)
+            stats = node.participant.stats
+            for name in (
+                "tokens_handled", "messages_initiated", "data_received",
+                "delivered", "retransmissions_sent",
+            ):
+                metrics.bind("core.participant." + name, stats, name,
+                             node=pid)
+
+    def attach_tracer(self, label: str = ""):
+        """Attach a lifecycle tracer (wall clock); call before start().
+
+        Timestamps share the capture epoch, so a trace lines up with an
+        ``.rcap`` capture of the same run.  Node threads stamp records
+        concurrently; each stamp is one GIL-atomic bytearray extend, so
+        the stream is safe — just not globally time-sorted across nodes.
+        """
+        from ..obs.lifecycle import emulation_tracer
+
+        if self.tracer is not None:
+            raise RuntimeError("tracer already attached")
+        if self._started:
+            raise RuntimeError("attach the tracer before start()")
+        self.tracer = emulation_tracer(self, self.t0, label=label)
+        return self.tracer
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -120,6 +120,22 @@ class UdpTransport:
         """Everything received but refused: malformed plus oversized."""
         return self.drops_malformed + self.drops_oversize
 
+    def register_metrics(self, registry, node: Optional[int] = None) -> None:
+        """Expose the transport counters through a MetricsRegistry.
+
+        Bound views over the attributes the socket loops already
+        increment; ``node`` scopes them to this transport's pid.
+        """
+        pid = self.pid if node is None else node
+        registry.bind("emulation.transport.datagrams_sent", self,
+                      "datagrams_sent", node=pid)
+        registry.bind("emulation.transport.datagrams_received", self,
+                      "datagrams_received", node=pid)
+        registry.bind("emulation.transport.drops_malformed", self,
+                      "drops_malformed", node=pid)
+        registry.bind("emulation.transport.drops_oversize", self,
+                      "drops_oversize", node=pid)
+
     # -- sending ----------------------------------------------------------
 
     def _encode_checked(self, obj: Any) -> bytes:

@@ -1,13 +1,17 @@
 """Network observability: byte/frame accounting across the fabric.
 
 Used by benchmarks to report achieved utilization and by tests to assert
-conservation properties (bytes in == bytes out + drops).
+conservation properties (bytes in == bytes out + drops).  When a
+:class:`repro.obs.registry.MetricsRegistry` is attached
+(:meth:`FabricMonitor.register_metrics`), every fabric counter is also
+readable through the registry's unified namespace — the monitor stays
+the thin aggregation shim over the same live NIC/switch attributes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import Dict, List
 
 from .engine import Simulator, Timeout
 from .nic import Nic
@@ -25,6 +29,12 @@ class FabricSnapshot:
     switch_drops: int
     nic_drops: int
     max_port_queue_bytes: int
+    #: Switch-ingress frames per traffic class ("data", "jumbo", "token",
+    #: "gossip", "ctrl") — conservation asserts can separate the control
+    #: plane from the data plane.
+    frames_by_class: Dict[str, int] = field(default_factory=dict)
+    #: Switch-ingress wire bytes per traffic class.
+    bytes_by_class: Dict[str, int] = field(default_factory=dict)
 
 
 class FabricMonitor:
@@ -46,7 +56,53 @@ class FabricMonitor:
             switch_drops=self.switch.total_drops(),
             nic_drops=sum(n.drops_overflow for n in self.nics),
             max_port_queue_bytes=max((p.max_queue_bytes for p in ports), default=0),
+            frames_by_class=dict(self.switch.class_frames),
+            bytes_by_class=dict(self.switch.class_bytes),
         )
+
+    def register_metrics(self, registry) -> None:
+        """Expose the fabric counters through a MetricsRegistry.
+
+        Every metric is a zero-cost bound view over the same live NIC /
+        switch-port attributes this monitor already sums — nothing on
+        the frame path changes.  Per-node scopes use the NIC/port host
+        id; switch-wide counters are unscoped.
+        """
+        for nic in self.nics:
+            pid = nic.host_id
+            registry.bind("net.nic.frames_sent", nic, "frames_sent", node=pid)
+            registry.bind("net.nic.bytes_sent", nic, "bytes_sent", node=pid)
+            registry.bind("net.nic.drops_overflow", nic, "drops_overflow",
+                          node=pid)
+        for host_id in self.switch.host_ids:
+            port = self.switch.port(host_id)
+            registry.bind("net.port.frames_forwarded", port,
+                          "frames_forwarded", node=host_id)
+            registry.bind("net.port.bytes_forwarded", port,
+                          "bytes_forwarded", node=host_id)
+            registry.bind("net.port.drops_overflow", port,
+                          "drops_overflow", node=host_id)
+            registry.bind("net.port.drops_injected", port,
+                          "drops_injected", node=host_id)
+            registry.bind("net.port.queued_bytes", port, "queued_bytes",
+                          node=host_id, kind="gauge")
+            registry.bind("net.port.max_queue_bytes", port,
+                          "max_queue_bytes", node=host_id, kind="gauge")
+        switch = self.switch
+        registry.bind("net.switch.frames_received", switch, "frames_received")
+        registry.bind("net.switch.drops_partition", switch, "drops_partition")
+        registry.bind("net.switch.drops_fault", switch, "drops_fault")
+        for cls in switch.class_frames:
+            registry.bind_fn(
+                "net.switch.class.%s.frames" % cls,
+                (lambda c=cls: switch.class_frames.get(c, 0)),
+                kind="counter",
+            )
+            registry.bind_fn(
+                "net.switch.class.%s.bytes" % cls,
+                (lambda c=cls: switch.class_bytes.get(c, 0)),
+                kind="counter",
+            )
 
     def sample_periodically(self, interval_s: float) -> None:
         """Spawn a process recording a snapshot every ``interval_s``."""

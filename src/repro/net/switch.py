@@ -20,9 +20,16 @@ from heapq import heappush
 from typing import Callable, Deque, Dict, Iterable, List, Optional
 
 from .engine import Simulator, Timeout
-from .frames import Frame
+from .frames import Frame, Traffic
 from .links import LinkSpec
 from .loss import LossModel, no_loss
+
+#: Ingress traffic classes (per-class frame/byte accounting).  ``data``
+#: is the plain ordered-data plane, ``jumbo`` its coalesced wire-type-8
+#: flavor, ``token`` the rotating token, ``gossip`` the SWIM detector's
+#: wire types 9-11, and ``ctrl`` the membership control plane (joins,
+#: commit tokens, recovery floods).
+TRAFFIC_CLASSES = ("data", "jumbo", "token", "gossip", "ctrl")
 
 
 class SwitchPort:
@@ -143,6 +150,15 @@ class Switch:
         self.frames_received = 0
         self.drops_partition = 0
         self.drops_fault = 0
+        #: Ingress frames/bytes per traffic class (see TRAFFIC_CLASSES).
+        self.class_frames: Dict[str, int] = dict.fromkeys(TRAFFIC_CLASSES, 0)
+        self.class_bytes: Dict[str, int] = dict.fromkeys(TRAFFIC_CLASSES, 0)
+        #: payload type -> class, for bare payloads and ("data", ...) inner
+        #: payloads.  Tuples (the EVS harness's markers) are never cached
+        #: by type — their inner type varies per frame.
+        self._data_class_cache: Dict[type, str] = {}
+        #: inner payload type -> class for ("ctrl", message) payloads.
+        self._ctrl_class_cache: Dict[type, str] = {}
 
     def attach(
         self,
@@ -242,9 +258,70 @@ class Switch:
     def receive(self, frame: Frame) -> None:
         """Ingress: a frame has fully arrived from a host NIC."""
         self.frames_received += 1
+        payload = frame.payload
+        cls = self._data_class_cache.get(type(payload))
+        if cls is None:
+            cls = self._classify(frame)
+        class_frames = self.class_frames
+        class_frames[cls] = class_frames.get(cls, 0) + 1
+        class_bytes = self.class_bytes
+        class_bytes[cls] = class_bytes.get(cls, 0) + frame.wire
         if self._capture is not None:
             self._capture(frame)
         self.sim.call_in(self.spec.switch_latency_s, self._forward, frame)
+
+    def _classify(self, frame: Frame) -> str:
+        """Slow path of per-class accounting: first sighting of a type.
+
+        Bare payload types are classified once and cached; the EVS
+        harness's marker tuples (``("data", ring_id, message)`` /
+        ``("ctrl", message)``) are unwrapped per frame and their *inner*
+        type cached instead.
+        """
+        payload = frame.payload
+        tp = type(payload)
+        if tp is tuple:
+            if len(payload) == 3 and payload[0] == "data":
+                inner = type(payload[2])
+                cls = self._data_class_cache.get(inner)
+                if cls is None:
+                    cls = self._data_class_cache[inner] = (
+                        self._classify_bare(inner, frame.traffic)
+                    )
+                return cls
+            if len(payload) == 2 and payload[0] == "ctrl":
+                inner = type(payload[1])
+                cls = self._ctrl_class_cache.get(inner)
+                if cls is None:
+                    cls = self._ctrl_class_cache[inner] = (
+                        self._classify_ctrl(inner)
+                    )
+                return cls
+            return "data"  # unknown tuple shape: count with the data plane
+        cls = self._classify_bare(tp, frame.traffic)
+        self._data_class_cache[tp] = cls
+        return cls
+
+    @staticmethod
+    def _classify_bare(tp: type, traffic: Traffic) -> str:
+        from ..core.coalesce import JumboDatagram  # local: keep net light
+        from ..core.messages import Token
+
+        if tp is Token:
+            return "token"
+        if tp is JumboDatagram:
+            return "jumbo"
+        if traffic is Traffic.TOKEN:
+            return "token"
+        return "data"
+
+    @staticmethod
+    def _classify_ctrl(tp: type) -> str:
+        from ..membership.gossip import GOSSIP_MESSAGE_TYPES
+
+        if issubclass(tp, GOSSIP_MESSAGE_TYPES):
+            return "gossip"
+        return "ctrl"
 
     def _forward(self, frame: Frame) -> None:
         if self._fault_filters:

@@ -1,0 +1,68 @@
+"""Unified observability: metrics registry + causal lifecycle tracing.
+
+Two instruments, one namespace:
+
+* :class:`MetricsRegistry` (:mod:`repro.obs.registry`) — named
+  counters/gauges/histograms with per-node and cluster-aggregated
+  views and JSON snapshot/delta export.  The legacy counters
+  (FabricMonitor, participant stats, gossip control traffic, transport
+  drops) re-register through it as zero-cost bound views.
+
+* :class:`LifecycleTracer` (:mod:`repro.obs.lifecycle`) — stamps each
+  message's journey through the paper's pipeline stages into a
+  ``.rtrace`` stream (:mod:`repro.wire.tracefmt`), attachable to both
+  ``SimCluster`` (sim clock) and ``EmulatedRing`` (wall clock).
+
+Analysis lives in :mod:`repro.obs.report`; the CLI front-ends are
+``python -m repro.cli report`` and ``python -m repro.cli
+trace-analyze``.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .lifecycle import (
+    AUX_COALESCED,
+    AUX_POST_TOKEN,
+    AUX_RETRANSMISSION,
+    AUX_SAFE,
+    STAGE_COALESCED,
+    STAGE_DELIVERED_AGREED,
+    STAGE_DELIVERED_SAFE,
+    STAGE_MULTICAST,
+    STAGE_NAMES,
+    STAGE_ORDERED,
+    STAGE_ORIGINATED,
+    STAGE_PACKED,
+    STAGE_RECEIVED,
+    STAGE_TOKEN_GRANTED,
+    STAGE_TOKEN_HANDLED,
+    LifecycleTracer,
+)
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, RegistryError
+from .report import analyze, analyze_path, format_metrics, format_report
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "RegistryError",
+    "LifecycleTracer",
+    "STAGE_NAMES",
+    "STAGE_ORIGINATED",
+    "STAGE_PACKED",
+    "STAGE_COALESCED",
+    "STAGE_TOKEN_GRANTED",
+    "STAGE_MULTICAST",
+    "STAGE_RECEIVED",
+    "STAGE_ORDERED",
+    "STAGE_DELIVERED_AGREED",
+    "STAGE_DELIVERED_SAFE",
+    "STAGE_TOKEN_HANDLED",
+    "AUX_POST_TOKEN",
+    "AUX_RETRANSMISSION",
+    "AUX_COALESCED",
+    "AUX_SAFE",
+    "analyze",
+    "analyze_path",
+    "format_report",
+    "format_metrics",
+]

@@ -164,6 +164,7 @@ def run_scenario(
     schedule: FaultSchedule,
     accelerated_window: int,
     options: CampaignOptions,
+    observability: Optional[Dict] = None,
 ) -> Tuple[bool, List[str], Dict[str, int]]:
     """Run one schedule against one configuration.
 
@@ -172,6 +173,11 @@ def run_scenario(
     schedule, run the horizon, then clean up (heal, clear filters and
     loss, restart every crashed node), stop the workload, re-converge
     and drain, and finally check every incarnation's log.
+
+    When ``observability`` (a dict) is passed, it is filled in place
+    with the run's drop counters and per-class traffic breakdown — the
+    campaign summary threads these into its JSON without changing this
+    function's return shape.
     """
     cluster = SimEVSCluster(
         options.n_nodes, options.spec, options.profile,
@@ -244,7 +250,35 @@ def run_scenario(
         )
         for key, log in sorted(logs.items())
     }
+    if observability is not None:
+        observability.update(collect_observability(cluster))
     return converged, checker.violations, delivered
+
+
+def collect_observability(cluster: SimEVSCluster) -> Dict:
+    """Deterministic drop/traffic block for campaign and churn summaries.
+
+    ``malformed``/``oversize`` are the wire-boundary counters the UDP
+    transport tracks; the packet-level sim has no byte parsing, so they
+    are structurally present but always zero here — the key layout
+    matches the emulation's so tooling reads both.
+    """
+    switch = cluster.switch
+    ports = [switch.port(h) for h in switch.host_ids]
+    return {
+        "drops": {
+            "port_overflow": sum(p.drops_overflow for p in ports),
+            "port_injected": sum(p.drops_injected for p in ports),
+            "partition": switch.drops_partition,
+            "fault_filter": switch.drops_fault,
+            "malformed": 0,
+            "oversize": 0,
+        },
+        "traffic": {
+            "frames_by_class": dict(sorted(switch.class_frames.items())),
+            "bytes_by_class": dict(sorted(switch.class_bytes.items())),
+        },
+    }
 
 
 def shrink_schedule(
@@ -296,8 +330,9 @@ def run_campaign(options: CampaignOptions,
         schedule = generate_schedule(rng, options.n_nodes, options.horizon_s)
         runs: List[Dict] = []
         for window in options.windows:
+            observability: Dict = {}
             converged, violations, delivered = run_scenario(
-                schedule, window, options
+                schedule, window, options, observability=observability,
             )
             result = ScenarioResult(
                 index=index,
@@ -322,6 +357,8 @@ def run_campaign(options: CampaignOptions,
                 "violations": result.violations,
                 "delivered": result.delivered,
                 "repro": result.repro_path,
+                "drops": observability.get("drops", {}),
+                "traffic": observability.get("traffic", {}),
             })
         scenario_reports.append({
             "index": index,

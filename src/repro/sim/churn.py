@@ -34,6 +34,7 @@ from ..core import ProtocolConfig
 from ..evs import EVSChecker
 from ..membership import GossipConfig, MembershipTimeouts
 from ..net import GIGABIT, LinkSpec, Timeout
+from .campaign import collect_observability
 from .evs_node import SimEVSCluster
 from .faults import Churn, FaultSchedule, Flap
 from .profiles import LIBRARY, CostProfile
@@ -177,6 +178,7 @@ def run_churn_scenario(options: ChurnOptions) -> Dict[str, Any]:
     incarnations = {
         pid: node.incarnation for pid, node in cluster.nodes.items()
     }
+    observability = collect_observability(cluster)
     return {
         "seed": options.seed,
         "n_nodes": options.n_nodes,
@@ -187,6 +189,8 @@ def run_churn_scenario(options: ChurnOptions) -> Dict[str, Any]:
         "violations": checker.violations,
         "total_restarts": sum(incarnations.values()),
         "ctrl": cluster.ctrl_traffic(),
+        "drops": observability["drops"],
+        "traffic": observability["traffic"],
         "delivered_total": sum(
             sum(1 for event in log if not hasattr(event, "configuration"))
             for log in logs.values()

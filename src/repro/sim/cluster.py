@@ -20,6 +20,7 @@ from ..net import (
     Timeout,
 )
 from ..net.loss import LossModel, derive_port_loss, no_loss
+from ..obs.registry import MetricsRegistry
 from .latency import LatencyRecorder, LatencySummary
 from .node import SimNode
 from .profiles import CostProfile
@@ -103,7 +104,38 @@ class SimCluster:
         self.monitor = FabricMonitor(
             self.sim, self.switch, [n.nic for n in self.nodes.values()]
         )
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
+        #: Lifecycle tracer, if attached (see :meth:`attach_tracer`).
+        self.tracer = None
         self._injectors_started = False
+
+    def _register_metrics(self) -> None:
+        """Expose every cluster counter through the unified registry.
+
+        All bound views over the live attributes the nodes already
+        increment — registering costs nothing on the hot paths.
+        """
+        metrics = self.metrics
+        for pid, node in self.nodes.items():
+            stats = node.participant.stats
+            for name in (
+                "tokens_handled", "duplicate_tokens", "messages_initiated",
+                "messages_sent_pre_token", "messages_sent_post_token",
+                "retransmissions_sent", "retransmissions_requested",
+                "data_received", "data_duplicates", "delivered", "discarded",
+            ):
+                metrics.bind("core.participant." + name, stats, name, node=pid)
+            metrics.bind("sim.node.socket_drops", node, "socket_drops",
+                         node=pid)
+            metrics.bind("sim.node.tokens_resent", node, "tokens_resent",
+                         node=pid)
+            metrics.bind_fn(
+                "core.participant.backlog",
+                (lambda participant=node.participant: participant.backlog),
+                node=pid, kind="gauge",
+            )
+        self.monitor.register_metrics(metrics)
 
     # -- capture ---------------------------------------------------------------
 
@@ -117,6 +149,20 @@ class SimCluster:
         from ..wire.capture import SimCaptureTap
 
         self.switch.set_capture(SimCaptureTap(self.sim, writer))
+
+    def attach_tracer(self, label: str = ""):
+        """Attach a lifecycle tracer (sim clock); call before :meth:`run`.
+
+        Returns the :class:`repro.obs.lifecycle.LifecycleTracer`; after
+        the run, write it out with ``tracer.write(path)`` and analyze
+        with ``python -m repro.cli trace-analyze``.
+        """
+        from ..obs.lifecycle import sim_tracer
+
+        if self.tracer is not None:
+            raise RuntimeError("tracer already attached")
+        self.tracer = sim_tracer(self, label=label)
+        return self.tracer
 
     # -- workload ------------------------------------------------------------
 

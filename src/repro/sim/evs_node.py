@@ -28,6 +28,7 @@ from ..membership import (
 )
 from ..membership.gossip import GOSSIP_MESSAGE_TYPES, GossipPingReq
 from ..net import Frame, LinkSpec, Nic, Simulator, Switch, Timeout, Traffic
+from ..obs.registry import MetricsRegistry
 from ..wire import GOSSIP_BASE_SIZE, GOSSIP_REQ_BASE_SIZE, GOSSIP_UPDATE_SIZE
 from .profiles import CostProfile
 
@@ -380,6 +381,60 @@ class SimEVSCluster:
                                 config, timeouts)
                 for pid in range(n_nodes)
             }
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Expose membership/gossip counters through the registry.
+
+        Detector metrics go through ``bind_fn`` closures reading
+        ``node.detector`` fresh at snapshot time — a restart swaps in a
+        new detector, and the registry must follow the live incarnation.
+        """
+        metrics = self.metrics
+        for pid, node in self.nodes.items():
+            metrics.bind("membership.ctrl_frames_sent", node,
+                         "ctrl_frames_sent", node=pid)
+            metrics.bind("membership.ctrl_bytes_sent", node,
+                         "ctrl_bytes_sent", node=pid)
+            metrics.bind("membership.ctrl_frames_received", node,
+                         "ctrl_frames_received", node=pid)
+            metrics.bind_fn(
+                "membership.incarnation",
+                (lambda n=node: n.incarnation), node=pid, kind="gauge",
+            )
+            metrics.bind("net.nic.frames_sent", node.nic, "frames_sent",
+                         node=pid)
+            metrics.bind("net.nic.bytes_sent", node.nic, "bytes_sent",
+                         node=pid)
+            if self.gossip:
+                metrics.bind_fn(
+                    "membership.gossip.messages_sent",
+                    (lambda n=node: n.detector.messages_sent),
+                    node=pid, kind="counter",
+                )
+                metrics.bind_fn(
+                    "membership.gossip.false_suspicions_refuted",
+                    (lambda n=node: n.detector.false_suspicions_refuted),
+                    node=pid, kind="counter",
+                )
+        switch = self.switch
+        metrics.bind("net.switch.frames_received", switch, "frames_received")
+        metrics.bind("net.switch.drops_partition", switch, "drops_partition")
+        metrics.bind("net.switch.drops_fault", switch, "drops_fault")
+        metrics.bind_fn("net.switch.drops_port", switch.total_drops,
+                        kind="counter")
+        for cls in switch.class_frames:
+            metrics.bind_fn(
+                "net.switch.class.%s.frames" % cls,
+                (lambda c=cls: switch.class_frames.get(c, 0)),
+                kind="counter",
+            )
+            metrics.bind_fn(
+                "net.switch.class.%s.bytes" % cls,
+                (lambda c=cls: switch.class_bytes.get(c, 0)),
+                kind="counter",
+            )
 
     def run_for(self, seconds: float) -> None:
         self.sim.run(until=self.sim.now + seconds)
@@ -412,12 +467,14 @@ class SimEVSCluster:
 
     def ctrl_traffic(self) -> Dict[str, float]:
         """Aggregate control-plane load (frames/bytes, plus per-node
-        send rate in frames per simulated second)."""
-        frames_sent = sum(n.ctrl_frames_sent for n in self.nodes.values())
-        bytes_sent = sum(n.ctrl_bytes_sent for n in self.nodes.values())
-        frames_received = sum(
-            n.ctrl_frames_received for n in self.nodes.values()
-        )
+        send rate in frames per simulated second).
+
+        A thin shim over the metrics registry: the per-node counters are
+        registered there, and this sums the same live attributes.
+        """
+        frames_sent = self.metrics.total("membership.ctrl_frames_sent")
+        bytes_sent = self.metrics.total("membership.ctrl_bytes_sent")
+        frames_received = self.metrics.total("membership.ctrl_frames_received")
         elapsed = self.sim.now
         per_node_hz = (
             frames_sent / (elapsed * len(self.nodes)) if elapsed > 0 else 0.0

@@ -79,7 +79,32 @@ class SimNode:
         self.socket_drops = 0
         self.tokens_resent = 0
         self._retransmit_deadline = 0.0
+        # Lifecycle-trace hooks (repro.obs.lifecycle).  None when no
+        # tracer is attached: the send/deliver paths pay one ``is not
+        # None`` test each, nothing else.
+        self._trace_send: Optional[Callable] = None
+        self._trace_delivery: Optional[Callable] = None
+        self._trace_coalesce: Optional[Callable] = None
         self._process = sim.spawn(self._cpu_loop(), "cpu%d" % pid)
+
+    def set_trace_hooks(
+        self,
+        send: Optional[Callable] = None,
+        delivery: Optional[Callable] = None,
+        coalesce: Optional[Callable] = None,
+    ) -> None:
+        """Install lifecycle-trace driver hooks (attach before run()).
+
+        ``send(message, retransmission, coalesced)`` fires when the NIC
+        accepts a data datagram; ``delivery(message, t_ordered,
+        t_delivered)`` once per delivered message — ``t_ordered`` is
+        the sim instant the participant returned the Deliver action,
+        ``t_delivered`` the instant the delivery's CPU charge finished;
+        ``coalesce(messages)`` when a jumbo batch forms.
+        """
+        self._trace_send = send
+        self._trace_delivery = delivery
+        self._trace_coalesce = coalesce
 
     # -- application-facing -------------------------------------------------
 
@@ -197,6 +222,13 @@ class SimNode:
                     # the in-order fast path every received message
                     # delivers immediately, and the sub-generator per
                     # receive was measurable.
+                    # Attribute (not a captured local): the tracer may
+                    # attach between spawn and run().  The release time
+                    # is now — the participant returned the batch at
+                    # this instant, before any delivery CPU charge.
+                    trace_delivery = self._trace_delivery
+                    if trace_delivery is not None:
+                        t_ordered = sim.now
                     for action in actions:
                         delivered = action.message
                         dsize = delivered.payload_size
@@ -216,6 +248,8 @@ class SimNode:
                             record(pid, delivered.service,
                                    delivered.submitted_at, sim.now,
                                    delivered.payload_size)
+                        if trace_delivery is not None:
+                            trace_delivery(delivered, t_ordered, sim.now)
                         if deliver_callback is not None:
                             deliver_callback(pid, delivered)
             else:
@@ -237,6 +271,13 @@ class SimNode:
         send_timeouts = self._send_timeouts
         deliver_timeouts = self._deliver_timeouts
         deliver_callback = self._deliver_callback
+        trace_send = self._trace_send
+        trace_delivery = self._trace_delivery
+        if trace_delivery is not None:
+            # The participant returned this batch at the current instant
+            # — every Deliver in it was ordered (released) now, before
+            # any send/delivery CPU below shifts the clock.
+            t_ordered = sim.now
         data = Traffic.DATA
         for action in actions:
             kind = type(action)
@@ -250,6 +291,8 @@ class SimNode:
                     )
                 yield pause
                 nic_send(Frame(pid, None, data, size + header_bytes, message))
+                if trace_send is not None:
+                    trace_send(message, action.retransmission, False)
             elif kind is SendToken:
                 yield self._timeout_send_token
                 nic_send(Frame(
@@ -276,6 +319,8 @@ class SimNode:
                 else:
                     record(pid, message.service, message.submitted_at,
                            sim.now, message.payload_size)
+                if trace_delivery is not None:
+                    trace_delivery(message, t_ordered, sim.now)
                 if deliver_callback is not None:
                     deliver_callback(pid, message)
             elif kind is Discard:
@@ -318,6 +363,7 @@ class SimNode:
         """Send one batch: a lone packet goes plain, more go as a jumbo."""
         profile = self.profile
         send_timeouts = self._send_timeouts
+        trace_send = self._trace_send
         if len(batch) == 1:
             # Exactly the plain-datagram send: same bytes, same cost.
             message = batch[0]
@@ -332,6 +378,8 @@ class SimNode:
                 self.pid, None, Traffic.DATA,
                 size + profile.header_bytes, message,
             ))
+            if trace_send is not None:
+                trace_send(message, False, False)
             return
         datagram = JumboDatagram(tuple(batch))
         size = datagram.payload_size
@@ -345,6 +393,11 @@ class SimNode:
         self.nic.send(Frame(
             self.pid, None, Traffic.DATA, batch_bytes, datagram,
         ))
+        if trace_send is not None:
+            if self._trace_coalesce is not None:
+                self._trace_coalesce(batch)
+            for message in batch:
+                trace_send(message, False, True)
 
     # -- token-loss recovery --------------------------------------------------
 

@@ -28,9 +28,15 @@ class RoundStats:
 
 
 class RoundTracer:
-    """Records token-handling timestamps per node."""
+    """Records token-handling timestamps per node.
 
-    def __init__(self, cluster: SimCluster) -> None:
+    When the cluster carries a metrics registry (every
+    :class:`SimCluster` does), the tracer's aggregates re-register
+    through it — ``sim.rounds.*`` — while this class stays the
+    analysis-facing API.
+    """
+
+    def __init__(self, cluster: SimCluster, registry=None) -> None:
         self.cluster = cluster
         self.handle_times: Dict[int, List[float]] = {
             pid: [] for pid in cluster.ring
@@ -41,6 +47,33 @@ class RoundTracer:
             hub = node.participant.hub
             hub.subscribe(ev.TOKEN_HANDLED, self._make_token_hook(pid))
             hub.subscribe(ev.MESSAGE_SENT, self._make_send_hook(pid))
+        if registry is None:
+            registry = getattr(cluster, "metrics", None)
+        if registry is not None:
+            self.register_metrics(registry)
+
+    def register_metrics(self, registry) -> None:
+        """Expose the round aggregates through a MetricsRegistry."""
+        for pid in self.cluster.ring:
+            registry.bind_fn(
+                "sim.rounds.token_handlings",
+                (lambda p=pid: len(self.handle_times[p])),
+                node=pid, kind="counter",
+            )
+            registry.bind_fn(
+                "sim.rounds.post_token_sends",
+                (lambda p=pid: self.post_token_sends[p]),
+                node=pid, kind="counter",
+            )
+            registry.bind_fn(
+                "sim.rounds.new_messages",
+                (lambda p=pid: self.new_messages[p]),
+                node=pid, kind="counter",
+            )
+        registry.bind_fn("sim.rounds.mean_round_s", self.mean_round_s,
+                         kind="gauge")
+        registry.bind_fn("sim.rounds.overlap_fraction",
+                         self.overlap_fraction, kind="gauge")
 
     def _make_token_hook(self, node_pid: int):
         def hook(pid: int, received, sent, new_messages, retransmissions) -> None:

@@ -1,0 +1,278 @@
+"""``.rtrace`` lifecycle traces: one record format for sim and wire.
+
+A trace is a flat binary file of fixed-size lifecycle records — one per
+(message, stage, node) event stamped by
+:class:`repro.obs.lifecycle.LifecycleTracer`.  Like ``.rcap`` captures
+(:mod:`repro.wire.capture`), the simulated cluster and the UDP
+emulation write the *same* format, so one analyzer
+(``python -m repro.cli trace-analyze``) serves both.
+
+File layout::
+
+    offset  size  field
+    0       4     magic b"RTRC"
+    4       2     trace format version (currently 1)
+    6       1     world: 0 = sim, 1 = emulation
+    7       1     clock: 0 = sim time, 1 = wall (monotonic) time
+    8       4     label length
+    12      ...   UTF-8 label (free-form, e.g. the run's parameters)
+
+followed by zero or more fixed-size 26-byte records::
+
+    0       8     timestamp, seconds (f64; sim or monotonic per header)
+    8       1     stage id (repro.obs.lifecycle.STAGE_*)
+    9       1     reserved (0)
+    10      4     observing node pid (i32; -1 = unknown)
+    14      4     originating node pid (i32; -1 = n/a, e.g. tokens)
+    18      4     message sequence number (u32; round id for token stages)
+    22      4     aux (u32; stage-specific flags/payload, see lifecycle.py)
+
+Records are appended in stamp order; truncated tails (a crashed writer)
+are detected, reported, and do not invalidate records before them.
+
+A JSONL flavor (one ``{"t", "stage", "node", "origin", "seq", "aux"}``
+object per line) exists for eyeballing and interop; ``load_trace``
+sniffs which flavor a path holds.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterator, List, NamedTuple, Optional, TextIO
+
+RTRACE_MAGIC = b"RTRC"
+RTRACE_VERSION = 1
+
+TRACE_WORLD_SIM = 0
+TRACE_WORLD_EMULATION = 1
+TRACE_WORLD_NAMES = {TRACE_WORLD_SIM: "sim", TRACE_WORLD_EMULATION: "emulation"}
+
+CLOCK_SIM = 0
+CLOCK_WALL = 1
+CLOCK_NAMES = {CLOCK_SIM: "sim", CLOCK_WALL: "wall"}
+
+_FILE_HEADER = struct.Struct("<4sHBBI")
+_RECORD = struct.Struct("<dBBiiII")
+
+#: Public alias: the fixed record codec.  The lifecycle tracer packs
+#: stamps with it directly into a bytearray — packed bytes are invisible
+#: to the cyclic GC, where an equivalent tuple-per-stamp store makes
+#: full collections scan the whole trace and dominates tracing cost.
+RECORD_STRUCT = _RECORD
+RECORD_SIZE = _RECORD.size
+
+#: pid placeholder for "not applicable" (token records have no origin).
+NO_PID = -1
+
+_U32_MASK = 0xFFFFFFFF
+
+
+class TraceFormatError(ValueError):
+    """The file is not a readable ``.rtrace`` trace."""
+
+
+class TraceRecord(NamedTuple):
+    """One lifecycle stamp."""
+
+    t: float
+    stage: int
+    node: int  #: pid of the node observing the stage (-1 = unknown).
+    origin: int  #: pid that originated the message (-1 = n/a).
+    seq: int  #: message sequence number, or round id for token stages.
+    aux: int  #: stage-specific flags (see :mod:`repro.obs.lifecycle`).
+
+
+class TraceWriter:
+    """Append-only ``.rtrace`` writer."""
+
+    def __init__(
+        self, path: str, world: int, clock: int, label: str = ""
+    ) -> None:
+        if world not in TRACE_WORLD_NAMES:
+            raise ValueError("unknown trace world %r" % (world,))
+        if clock not in CLOCK_NAMES:
+            raise ValueError("unknown trace clock %r" % (clock,))
+        self.path = path
+        self.world = world
+        self.clock = clock
+        self.label = label
+        self.records_written = 0
+        raw_label = label.encode("utf-8")
+        self._handle = open(path, "wb")
+        self._handle.write(_FILE_HEADER.pack(
+            RTRACE_MAGIC, RTRACE_VERSION, world, clock, len(raw_label)
+        ))
+        self._handle.write(raw_label)
+
+    def write(
+        self, t: float, stage: int, node: int, origin: int, seq: int, aux: int
+    ) -> None:
+        self._handle.write(_RECORD.pack(
+            t, stage, 0, node, origin, seq & _U32_MASK, aux & _U32_MASK
+        ))
+        self.records_written += 1
+
+    def write_record(self, record: TraceRecord) -> None:
+        self.write(
+            record.t, record.stage, record.node,
+            record.origin, record.seq, record.aux,
+        )
+
+    def write_packed(self, data: bytes) -> None:
+        """Append records already packed with :data:`RECORD_STRUCT`."""
+        if len(data) % RECORD_SIZE:
+            raise ValueError(
+                "packed trace data is %d bytes, not a multiple of the "
+                "%d-byte record" % (len(data), RECORD_SIZE)
+            )
+        self._handle.write(data)
+        self.records_written += len(data) // RECORD_SIZE
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Sequential reader over an ``.rtrace`` file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        with open(path, "rb") as handle:
+            self._data = handle.read()
+        if len(self._data) < _FILE_HEADER.size:
+            raise TraceFormatError("file shorter than the rtrace header")
+        magic, version, world, clock, label_len = _FILE_HEADER.unpack_from(
+            self._data
+        )
+        if magic != RTRACE_MAGIC:
+            raise TraceFormatError("bad rtrace magic %r" % magic)
+        if version != RTRACE_VERSION:
+            raise TraceFormatError("unsupported rtrace version %d" % version)
+        if world not in TRACE_WORLD_NAMES:
+            raise TraceFormatError("unknown trace world %d" % world)
+        if clock not in CLOCK_NAMES:
+            raise TraceFormatError("unknown trace clock %d" % clock)
+        body_start = _FILE_HEADER.size + label_len
+        if body_start > len(self._data):
+            raise TraceFormatError("truncated rtrace label")
+        self.world = world
+        self.world_name = TRACE_WORLD_NAMES[world]
+        self.clock = clock
+        self.clock_name = CLOCK_NAMES[clock]
+        try:
+            self.label = self._data[_FILE_HEADER.size:body_start].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError("invalid rtrace label: %s" % exc)
+        self._body_start = body_start
+        #: Set by iteration when the file ends mid-record (crashed writer).
+        self.truncated_tail = False
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        data = self._data
+        pos = self._body_start
+        size = len(data)
+        record_size = _RECORD.size
+        unpack_from = _RECORD.unpack_from
+        while pos < size:
+            if pos + record_size > size:
+                self.truncated_tail = True
+                return
+            t, stage, _reserved, node, origin, seq, aux = unpack_from(data, pos)
+            yield TraceRecord(t, stage, node, origin, seq, aux)
+            pos += record_size
+
+
+# -- JSONL flavor ------------------------------------------------------------
+
+def write_jsonl(
+    handle: TextIO, records, world: int, clock: int, label: str = ""
+) -> int:
+    """Write records as JSONL with a leading header object; returns count."""
+    handle.write(json.dumps({
+        "rtrace": RTRACE_VERSION,
+        "world": TRACE_WORLD_NAMES[world],
+        "clock": CLOCK_NAMES[clock],
+        "label": label,
+    }, sort_keys=True))
+    handle.write("\n")
+    count = 0
+    for record in records:
+        handle.write(json.dumps({
+            "t": record.t,
+            "stage": record.stage,
+            "node": record.node,
+            "origin": record.origin,
+            "seq": record.seq,
+            "aux": record.aux,
+        }, sort_keys=True))
+        handle.write("\n")
+        count += 1
+    return count
+
+
+def read_jsonl(path: str) -> "LoadedTrace":
+    with open(path, "r") as handle:
+        first = handle.readline()
+        try:
+            header = json.loads(first)
+        except ValueError as exc:
+            raise TraceFormatError("not a JSONL trace: %s" % exc)
+        if not isinstance(header, dict) or "rtrace" not in header:
+            raise TraceFormatError("JSONL trace missing rtrace header line")
+        if header["rtrace"] != RTRACE_VERSION:
+            raise TraceFormatError(
+                "unsupported rtrace version %r" % header["rtrace"]
+            )
+        records = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            records.append(TraceRecord(
+                float(obj["t"]), int(obj["stage"]), int(obj["node"]),
+                int(obj["origin"]), int(obj["seq"]), int(obj["aux"]),
+            ))
+    return LoadedTrace(
+        world_name=str(header.get("world", "sim")),
+        clock_name=str(header.get("clock", "sim")),
+        label=str(header.get("label", "")),
+        records=records,
+        truncated_tail=False,
+    )
+
+
+class LoadedTrace(NamedTuple):
+    """A fully-loaded trace, flavor-independent."""
+
+    world_name: str
+    clock_name: str
+    label: str
+    records: List[TraceRecord]
+    truncated_tail: bool
+
+
+def load_trace(path: str) -> LoadedTrace:
+    """Load a trace from either flavor (binary sniffed by magic)."""
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+    if magic == RTRACE_MAGIC:
+        reader = TraceReader(path)
+        records = list(reader)
+        return LoadedTrace(
+            world_name=reader.world_name,
+            clock_name=reader.clock_name,
+            label=reader.label,
+            records=records,
+            truncated_tail=reader.truncated_tail,
+        )
+    return read_jsonl(path)

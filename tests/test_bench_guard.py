@@ -7,7 +7,7 @@ import pytest
 from repro.bench import guard
 
 
-def write_records(directory, kernel=None, codec=None, churn=None):
+def write_records(directory, kernel=None, codec=None, churn=None, obs=None):
     directory.mkdir(parents=True, exist_ok=True)
     kernel_record = {
         "events_per_sec_best": 3_000_000,
@@ -33,11 +33,18 @@ def write_records(directory, kernel=None, codec=None, churn=None):
     }
     if churn:
         churn_record["metrics"].update(churn)
+    obs_record = {
+        "sim_events_per_sec_off_best": 700_000,
+        "sim_events_per_sec_on_best": 650_000,
+        "tracing_throughput_ratio": 0.93,
+    }
+    obs_record.update(obs or {})
     (directory / "kernel.json").write_text(json.dumps(kernel_record))
     (directory / "codec.json").write_text(json.dumps(codec_record))
     (directory / "churn_convergence.json").write_text(
         json.dumps(churn_record)
     )
+    (directory / "obs_overhead.json").write_text(json.dumps(obs_record))
 
 
 def test_identical_records_pass(tmp_path):
@@ -46,7 +53,7 @@ def test_identical_records_pass(tmp_path):
     regressions, lines = guard.compare(
         str(tmp_path / "base"), str(tmp_path / "fresh"))
     assert regressions == []
-    assert sum(1 for _ in lines) == 9  # every guarded metric reported
+    assert sum(1 for _ in lines) == 12  # every guarded metric reported
 
 
 def test_slowdown_within_tolerance_passes(tmp_path):
@@ -85,6 +92,19 @@ def test_tighter_tolerance_flags_smaller_slips(tmp_path):
     regressions, _ = guard.compare(
         str(tmp_path / "base"), str(tmp_path / "fresh"), tolerance=0.05)
     assert len(regressions) == 1
+
+
+def test_tracing_ratio_regression_fails(tmp_path):
+    write_records(tmp_path / "base")
+    # Throughputs hold but the on/off ratio collapses: tracing got
+    # expensive even though the box got no slower.
+    write_records(tmp_path / "fresh",
+                  obs={"sim_events_per_sec_on_best": 480_000,
+                       "tracing_throughput_ratio": 0.69})     # -26%
+    regressions, _ = guard.compare(
+        str(tmp_path / "base"), str(tmp_path / "fresh"))
+    assert len(regressions) == 2
+    assert any("tracing_throughput_ratio" in r for r in regressions)
 
 
 def test_missing_fresh_record_is_an_error(tmp_path):

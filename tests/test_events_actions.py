@@ -28,10 +28,10 @@ def msg(seq=1):
 def test_subscribe_and_emit():
     hub = EventHub()
     seen = []
-    hub.subscribe("ping", lambda **kw: seen.append(kw))
-    hub.emit("ping", value=1)
-    hub.emit("ping", value=2)
-    assert seen == [{"value": 1}, {"value": 2}]
+    hub.subscribe("ping", lambda *args: seen.append(args))
+    hub.emit("ping", 1)
+    hub.emit("ping", 2)
+    assert seen == [(1,), (2,)]
 
 
 def test_counts_track_all_events_even_without_subscribers():
@@ -45,8 +45,8 @@ def test_counts_track_all_events_even_without_subscribers():
 def test_multiple_subscribers_called_in_order():
     hub = EventHub()
     order = []
-    hub.subscribe("e", lambda **kw: order.append("first"))
-    hub.subscribe("e", lambda **kw: order.append("second"))
+    hub.subscribe("e", lambda *args: order.append("first"))
+    hub.subscribe("e", lambda *args: order.append("second"))
     hub.emit("e")
     assert order == ["first", "second"]
 
@@ -54,7 +54,7 @@ def test_multiple_subscribers_called_in_order():
 def test_subscriber_exception_propagates():
     hub = EventHub()
 
-    def broken(**kw):
+    def broken(*args):
         raise RuntimeError("boom")
 
     hub.subscribe("e", broken)
