@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full bench-smoke bench-guard campaign-smoke churn-smoke obs-smoke wire-fuzz-smoke examples figures clean
+.PHONY: install test test-fast bench bench-full bench-smoke bench-guard campaign-smoke churn-smoke multiring-smoke obs-smoke wire-fuzz-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -39,7 +39,8 @@ bench-guard:
 	REPRO_BENCH_RESULTS=bench_results/fresh \
 		$(PYTHON) -m pytest benchmarks/test_kernel_events_per_sec.py \
 		benchmarks/test_codec_throughput.py \
-		benchmarks/test_obs_overhead.py -q
+		benchmarks/test_obs_overhead.py \
+		benchmarks/test_multiring_scaling.py -q
 	$(PYTHON) -m repro.cli churn --sweep \
 		--out bench_results/fresh/churn_convergence.json
 	$(PYTHON) -m repro.bench.guard --baseline bench_results \
@@ -61,6 +62,20 @@ campaign-smoke:
 churn-smoke:
 	$(PYTHON) -m pytest tests/test_gossip.py tests/test_churn_campaign.py -q
 	$(PYTHON) -m repro.cli churn --nodes 50 --seed 1
+
+# Multi-ring sharding smoke: the merge/partition/checker unit and
+# property suites plus the packet-level M=2 sim test, then an M={1,2}
+# scaling sweep via the CLI, which runs the per-ring EVS oracles and
+# the cross-ring merge checker on every point and exits non-zero on
+# any ordering violation.  The scaling record lands in
+# bench_results/fresh/ so CI can upload it.  This is what CI runs.
+multiring-smoke:
+	$(PYTHON) -m pytest tests/test_multiring_partition.py \
+		tests/test_multiring_merge.py tests/test_multiring_wire.py \
+		tests/test_multiring_sim.py -q
+	$(PYTHON) -m repro.cli multiring --ms 1,2 \
+		--out bench_results/fresh/multiring_smoke.json
+	$(PYTHON) -m repro.cli report --multiring
 
 # Observability smoke: the obs unit/property suites, then the full
 # artifact loop — a seeded traced run writes the reference trace and

@@ -1,8 +1,8 @@
 """Benchmark regression guard: fresh run vs committed baseline.
 
 CI regenerates the guarded records (``kernel.json``, ``codec.json``,
-``churn_convergence.json``, ``obs_overhead.json``) into a scratch
-directory and then runs::
+``churn_convergence.json``, ``obs_overhead.json``,
+``multiring_scaling.json``) into a scratch directory and then runs::
 
     python -m repro.bench.guard --baseline bench_results --fresh <dir>
 
@@ -55,6 +55,14 @@ GUARDED_METRICS: Dict[str, Tuple[str, ...]] = {
         "sim_events_per_sec_off_best",
         "sim_events_per_sec_on_best",
         "tracing_throughput_ratio",
+    ),
+    # Multi-ring scale-out (simulated-time, machine-independent): the
+    # M=4 aggregate delivered rate, the M=4/M=1 scaling factor, and the
+    # M=1-vs-M=4 latency-flatness ratio min(p50)/max(p50).
+    "multiring_scaling.json": (
+        "metrics.aggregate_msgs_per_s_m4",
+        "metrics.scaling_x_m4",
+        "metrics.latency_flatness_m4",
     ),
 }
 

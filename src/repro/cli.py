@@ -16,6 +16,12 @@ Run gossip-membership churn campaigns at 50-100 nodes::
     python -m repro.cli churn --nodes 50,100 --seed 1
     python -m repro.cli churn --sweep     # convergence-vs-N bench record
 
+Run the multi-ring sharding scaling sweep (guarded bench record)::
+
+    python -m repro.cli multiring                 # M in {1,2,4,8}
+    python -m repro.cli multiring --ms 1,2        # CI smoke
+    python -m repro.cli report --multiring        # merge-layer metrics
+
 Inspect wire captures (``.rcap`` files from the sim switch tap or the
 UDP transport)::
 
@@ -140,6 +146,11 @@ def run_churn_command(argv: List[str]) -> int:
              "(default: 8)",
     )
     parser.add_argument(
+        "--joins", type=int, default=0, metavar="K",
+        help="spawn K brand-new pids mid-scenario (open-membership "
+             "joins; gossip path only, default: 0)",
+    )
+    parser.add_argument(
         "--probes", action="store_true",
         help="run scenarios on the probe-flood detection path instead "
              "of gossip",
@@ -177,16 +188,17 @@ def run_churn_command(argv: List[str]) -> int:
         n_nodes = int(field)
         options = ChurnOptions(
             seed=args.seed, n_nodes=n_nodes, gossip=not args.probes,
-            churn_events=args.events,
+            churn_events=args.events, joins=args.joins,
         )
         summary = run_churn_scenario(options)
         ok = summary["converged"] and not summary["violations"]
         failures += 0 if ok else 1
-        print("churn n=%d seed=%d %s: %d restart(s), %d delivered, "
-              "%d violation(s), ctrl %.0f frames/node/s"
+        print("churn n=%d seed=%d %s: %d restart(s), %d join(s), "
+              "%d delivered, %d violation(s), ctrl %.0f frames/node/s"
               % (n_nodes, args.seed,
                  "gossip" if not args.probes else "probes",
-                 summary["total_restarts"], summary["delivered_total"],
+                 summary["total_restarts"], len(summary["joined_pids"]),
+                 summary["delivered_total"],
                  len(summary["violations"]),
                  summary["ctrl"]["ctrl_frames_per_node_per_s"]))
         for violation in summary["violations"][:5]:
@@ -194,6 +206,71 @@ def run_churn_command(argv: List[str]) -> int:
         if not summary["converged"]:
             print("  ERROR: membership failed to re-converge after churn")
     return 1 if failures else 0
+
+
+def run_multiring_command(argv: List[str]) -> int:
+    """The ``multiring`` experiment: sharded-ring scaling sweep.
+
+    Runs the fixed per-ring workload at each requested ring count M,
+    checks every point with both ordering oracles (per-ring EVS and the
+    cross-ring merge checker), prints the scaling table, and writes the
+    guarded ``multiring_scaling.json`` record.  Exits non-zero if any
+    point reports an ordering violation.
+    """
+    from .multiring.bench import (
+        DEFAULT_MS,
+        DEFAULT_RECORD_PATH,
+        scaling_sweep,
+        total_violations,
+        write_record,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli multiring",
+        description="Multi-ring sharding scaling sweep with cross-ring "
+                    "merge checking.",
+    )
+    parser.add_argument(
+        "--ms", default=",".join(str(m) for m in DEFAULT_MS),
+        help="comma-separated ring counts to sweep (default: %s)"
+             % ",".join(str(m) for m in DEFAULT_MS),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="workload seed; group placement, injection jitter and the "
+             "merged order all derive from it (default: 1)",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_RECORD_PATH,
+        help="record path (default: %s)" % DEFAULT_RECORD_PATH,
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress",
+    )
+    args = parser.parse_args(argv)
+
+    ms = [int(field) for field in args.ms.split(",")]
+    progress = None if args.quiet else (
+        lambda line: print("  " + line, file=sys.stderr)
+    )
+    record = scaling_sweep(ms=ms, seed=args.seed, progress=progress)
+    path = write_record(record, args.out)
+    for entry in record["sweep"]:
+        print("M=%d  %8.0f msgs/s  %7.1f Mbps  p50 %6.1f us  rounds %4d  "
+              "skips %3d  lag %d  violations %d"
+              % (entry["m"], entry["aggregate_msgs_per_s"],
+                 entry["aggregate_mbps"], entry["group_latency_p50_us"],
+                 entry["rounds_merged"], entry["skips_filled"],
+                 entry["max_ring_lag_rounds"],
+                 entry["evs_violations"] + entry["cross_ring_violations"]))
+    if record["metrics"]:
+        print("metrics: %r" % record["metrics"])
+    print("wrote %s" % path)
+    violations = total_violations(record)
+    if violations:
+        print("ERROR: %d ordering violation(s) across the sweep"
+              % violations, file=sys.stderr)
+    return 1 if violations else 0
 
 
 def run_decode_command(argv: List[str]) -> int:
@@ -338,6 +415,11 @@ def run_report_command(argv: List[str]) -> int:
         "--out", default=None, metavar="PATH",
         help="also write the JSON snapshot to PATH",
     )
+    parser.add_argument(
+        "--multiring", action="store_true",
+        help="run the seeded M=2 multi-ring reference workload instead "
+             "and report its merge-layer registry (multiring.*)",
+    )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--nodes", type=int, default=4)
     parser.add_argument("--duration", type=float, default=0.02,
@@ -349,6 +431,20 @@ def run_report_command(argv: List[str]) -> int:
     if args.snapshot is not None:
         with open(args.snapshot) as handle:
             snapshot = json.load(handle)
+    elif args.multiring:
+        from .multiring.sim import MultiRingSimCluster
+
+        cluster = MultiRingSimCluster(2, n_nodes=args.nodes, seed=args.seed)
+        result = cluster.run(
+            duration_s=max(args.duration, 0.05), warmup_s=0.01,
+            offered_per_ring_bps=args.rate,
+        )
+        if not result.ok:
+            for violation in (result.evs_violations
+                              + result.cross_ring_violations)[:5]:
+                print("violation: %s" % violation, file=sys.stderr)
+            return 1
+        snapshot = cluster.metrics.snapshot()
     else:
         cluster, _result, _tracer = _traced_reference_run(
             args.seed, args.nodes, args.duration, args.rate, trace=False,
@@ -454,6 +550,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_capture_sample_command(argv[1:])
     if argv and argv[0] == "churn":
         return run_churn_command(argv[1:])
+    if argv and argv[0] == "multiring":
+        return run_multiring_command(argv[1:])
     if argv and argv[0] == "report":
         return run_report_command(argv[1:])
     if argv and argv[0] == "trace-analyze":
@@ -468,8 +566,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (e.g. fig1), 'all', 'list', 'campaign', "
-             "'churn', 'decode', 'capture-sample', 'report', "
-             "'trace-analyze', or 'obs-sample'",
+             "'churn', 'multiring', 'decode', 'capture-sample', "
+             "'report', 'trace-analyze', or 'obs-sample'",
     )
     parser.add_argument(
         "--full", action="store_true",

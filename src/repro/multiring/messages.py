@@ -1,0 +1,38 @@
+"""Merge-coordination payloads ordered through the rings themselves.
+
+The only cross-ring coordination the merge layer needs is the round
+boundary, and it travels *in band*: each ring's marker source submits a
+:class:`RoundMarker` through its own ring as a regular agreed message.
+Because the marker is part of the ring's total order, every member of
+the ring chops the agreed stream into rounds at exactly the same
+points — determinism of the global merge falls out of the determinism
+of each ring, with no extra agreement protocol.
+
+This module is deliberately dependency-free: the wire codec registers
+:class:`RoundMarker` in its TLV object table, so nothing here may
+import :mod:`repro.wire` (or anything heavy) back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: TLV bytes one encoded RoundMarker occupies inside a data payload:
+#: 1 object tag + 2 int64 fields at (1 tag + 8 value) bytes each.  The
+#: simulator charges marker submissions this payload size; the codec
+#: cross-check lives in tests/test_multiring_wire.py.
+MARKER_WIRE_SIZE = 19
+
+
+@dataclass(frozen=True)
+class RoundMarker:
+    """Closes merge round ``round`` for ring ``ring_index``.
+
+    Everything the ring delivered (in agreed order) after the previous
+    marker and up to this one belongs to round ``round``.  A marker
+    arriving with no data before it closes an *empty* round — the
+    skip/λ mechanism that keeps idle rings from stalling the merge.
+    """
+
+    ring_index: int
+    round: int

@@ -36,7 +36,7 @@ from ..membership import GossipConfig, MembershipTimeouts
 from ..net import GIGABIT, LinkSpec, Timeout
 from .campaign import collect_observability
 from .evs_node import SimEVSCluster
-from .faults import Churn, FaultSchedule, Flap
+from .faults import Churn, FaultSchedule, Flap, Join
 from .profiles import LIBRARY, CostProfile
 
 #: Where the sweep record lands (next to kernel.json / codec.json).
@@ -70,6 +70,12 @@ class ChurnOptions:
     #: One designated flapper exercises rapid rejoin churn.
     flap_pid: Optional[int] = 1
     flap_repeats: int = 3
+    #: Brand-new pids spawned mid-run (open membership; gossip only).
+    #: Joiners get pids the deployment has never seen and must be
+    #: pulled into the ring by the gossip detector alone.
+    joins: int = 0
+    join_start_s: float = 0.2
+    join_period_s: float = 0.45
     submit_interval_s: float = 0.05
     converge_timeout_s: float = 8.0
     drain_s: float = 0.5
@@ -108,6 +114,11 @@ def churn_schedule(options: ChurnOptions) -> FaultSchedule:
             period_s=options.churn_period_s * 1.5,
             repeats=options.flap_repeats,
         ))
+    for index in range(options.joins):
+        schedule.add(Join(
+            at_s=options.join_start_s + index * options.join_period_s,
+            pid=options.n_nodes + index,
+        ))
     return schedule
 
 
@@ -118,6 +129,10 @@ def run_churn_scenario(options: ChurnOptions) -> Dict[str, Any]:
     (empty on success), per-incarnation delivery counts and control
     traffic totals.
     """
+    if options.joins and not options.gossip:
+        raise ValueError(
+            "open-membership joins need the gossip detection path"
+        )
     cluster = _build_cluster(options.n_nodes, options.gossip, options.seed,
                              options.spec, options.profile)
     cluster.run_until_converged(timeout_s=options.converge_timeout_s)
@@ -144,11 +159,28 @@ def run_churn_scenario(options: ChurnOptions) -> Dict[str, Any]:
         cluster.sim.spawn(injector(cluster.nodes[pid]), "churninj%d" % pid)
 
     schedule = churn_schedule(options)
-    schedule.install(cluster)
+    base_s = cluster.sim.now
+    schedule.install(cluster, base_time_s=base_s)
+    # Joiners start submitting ordered traffic shortly after they
+    # spawn, so their deliveries are EVS-checked like everyone else's.
+    for event in schedule.events:
+        if isinstance(event, Join):
+            cluster.sim.call_at(
+                base_s + event.at_s + 0.02,
+                lambda pid=event.pid: cluster.sim.spawn(
+                    injector(cluster.nodes[pid]), "churninj%d" % pid
+                ),
+            )
     horizon_s = (
         0.1 + options.churn_period_s * (options.churn_events + 1)
         + options.churn_down_s
     )
+    if options.joins:
+        horizon_s = max(
+            horizon_s,
+            options.join_start_s
+            + options.joins * options.join_period_s + 0.3,
+        )
     cluster.run_for(horizon_s)
 
     # Cleanup: restart whatever the generator left down, quiesce.
@@ -183,6 +215,10 @@ def run_churn_scenario(options: ChurnOptions) -> Dict[str, Any]:
         "seed": options.seed,
         "n_nodes": options.n_nodes,
         "gossip": options.gossip,
+        "joins": options.joins,
+        "joined_pids": sorted(
+            pid for pid in cluster.nodes if pid >= options.n_nodes
+        ),
         "schedule": schedule.to_jsonable(),
         "horizon_s": round(horizon_s, 4),
         "converged": converged,

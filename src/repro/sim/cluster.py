@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..core import ProtocolConfig, Ring, Service, initial_token
 from ..net import (
@@ -78,6 +78,8 @@ class SimCluster:
         service: Service = Service.AGREED,
         loss: Optional[LossModel] = None,
         seed: int = 0,
+        deliver_callback: Optional[Callable[[int, object], None]] = None,
+        ring_id: int = 0,
     ) -> None:
         self.sim = Simulator()
         self.spec = spec
@@ -86,17 +88,20 @@ class SimCluster:
         self.payload_size = payload_size
         self.service = service
         self.seed = seed
-        self.ring = Ring.of(range(n_nodes))
+        self.ring = Ring.of(range(n_nodes), ring_id=ring_id)
         self.switch = Switch(self.sim, spec)
         self.recorder = LatencyRecorder()
         self._loss = loss or no_loss
         self.nodes: Dict[int, SimNode] = {}
         for pid in self.ring:
             # Injected loss applies on the shared fabric: wrap each
-            # port's delivery via the switch loss hook.
+            # port's delivery via the switch loss hook.  The delivery
+            # hook (multiring's merge feed, or any other observer)
+            # fires once per delivered DataMessage per node.
             self.nodes[pid] = SimNode(
                 self.sim, pid, self.ring, config, profile, spec,
                 self.switch, self.recorder,
+                deliver_callback=deliver_callback,
             )
         if loss is not None:
             for pid in self.ring:

@@ -365,6 +365,14 @@ class SimEVSCluster:
         self.sim = Simulator()
         self.switch = Switch(self.sim, spec)
         self.gossip = gossip
+        # Kept for mid-run spawns (open-membership joins build new
+        # nodes from the same deployment parameters).
+        self._spec = spec
+        self._profile = profile
+        self._config = config
+        self._timeouts = timeouts
+        self._gossip_config = gossip_config
+        self._gossip_seed = gossip_seed
         if gossip:
             peers = tuple(range(n_nodes))
             self.nodes: Dict[int, SimEVSNode] = {
@@ -384,40 +392,43 @@ class SimEVSCluster:
         self.metrics = MetricsRegistry()
         self._register_metrics()
 
-    def _register_metrics(self) -> None:
-        """Expose membership/gossip counters through the registry.
+    def spawn(self, pid: int) -> SimEVSNode:
+        """Open membership: boot a brand-new pid mid-run.
 
-        Detector metrics go through ``bind_fn`` closures reading
-        ``node.detector`` fresh at snapshot time — a restart swaps in a
-        new detector, and the registry must follow the live incarnation.
+        Unlike :meth:`restart` (a known host coming back), the joiner
+        has never existed: no port on the switch, no entry in anyone's
+        detector, no archived incarnations.  It boots as a singleton
+        seeded with the *current* deployment as its peer list (a fresh
+        daemon reads the live host file); its gossip pings introduce it
+        to the members' detectors, whose ``PeerAlive`` verdicts pull it
+        into the next gather — no static pid universe anywhere.
+
+        Gossip-mode only: the probe path broadcasts to the fixed ring
+        membership and would never probe an unknown pid, which is
+        exactly the closed-membership limitation this lifts.
         """
+        if not self.gossip:
+            raise RuntimeError(
+                "open-membership joins need the gossip detection path "
+                "(probe-flood detection never probes unknown pids)"
+            )
+        if pid in self.nodes:
+            raise ValueError("pid %d already exists" % pid)
+        node = GossipSimNode(
+            self.sim, pid, self._spec, self._profile, self.switch,
+            self._config, self._timeouts,
+            peers=tuple(sorted(self.nodes)),
+            gossip_config=self._gossip_config,
+            gossip_seed=self._gossip_seed,
+        )
+        self.nodes[pid] = node
+        self._register_node_metrics(pid, node)
+        return node
+
+    def _register_metrics(self) -> None:
         metrics = self.metrics
         for pid, node in self.nodes.items():
-            metrics.bind("membership.ctrl_frames_sent", node,
-                         "ctrl_frames_sent", node=pid)
-            metrics.bind("membership.ctrl_bytes_sent", node,
-                         "ctrl_bytes_sent", node=pid)
-            metrics.bind("membership.ctrl_frames_received", node,
-                         "ctrl_frames_received", node=pid)
-            metrics.bind_fn(
-                "membership.incarnation",
-                (lambda n=node: n.incarnation), node=pid, kind="gauge",
-            )
-            metrics.bind("net.nic.frames_sent", node.nic, "frames_sent",
-                         node=pid)
-            metrics.bind("net.nic.bytes_sent", node.nic, "bytes_sent",
-                         node=pid)
-            if self.gossip:
-                metrics.bind_fn(
-                    "membership.gossip.messages_sent",
-                    (lambda n=node: n.detector.messages_sent),
-                    node=pid, kind="counter",
-                )
-                metrics.bind_fn(
-                    "membership.gossip.false_suspicions_refuted",
-                    (lambda n=node: n.detector.false_suspicions_refuted),
-                    node=pid, kind="counter",
-                )
+            self._register_node_metrics(pid, node)
         switch = self.switch
         metrics.bind("net.switch.frames_received", switch, "frames_received")
         metrics.bind("net.switch.drops_partition", switch, "drops_partition")
@@ -434,6 +445,41 @@ class SimEVSCluster:
                 "net.switch.class.%s.bytes" % cls,
                 (lambda c=cls: switch.class_bytes.get(c, 0)),
                 kind="counter",
+            )
+
+    def _register_node_metrics(self, pid: int, node: SimEVSNode) -> None:
+        """Expose one node's membership/gossip counters in the registry.
+
+        Called per node so mid-run :meth:`spawn` joins register too.
+        Detector metrics go through ``bind_fn`` closures reading
+        ``node.detector`` fresh at snapshot time — a restart swaps in a
+        new detector, and the registry must follow the live incarnation.
+        """
+        metrics = self.metrics
+        metrics.bind("membership.ctrl_frames_sent", node,
+                     "ctrl_frames_sent", node=pid)
+        metrics.bind("membership.ctrl_bytes_sent", node,
+                     "ctrl_bytes_sent", node=pid)
+        metrics.bind("membership.ctrl_frames_received", node,
+                     "ctrl_frames_received", node=pid)
+        metrics.bind_fn(
+            "membership.incarnation",
+            (lambda n=node: n.incarnation), node=pid, kind="gauge",
+        )
+        metrics.bind("net.nic.frames_sent", node.nic, "frames_sent",
+                     node=pid)
+        metrics.bind("net.nic.bytes_sent", node.nic, "bytes_sent",
+                     node=pid)
+        if self.gossip:
+            metrics.bind_fn(
+                "membership.gossip.messages_sent",
+                (lambda n=node: n.detector.messages_sent),
+                node=pid, kind="counter",
+            )
+            metrics.bind_fn(
+                "membership.gossip.false_suspicions_refuted",
+                (lambda n=node: n.detector.false_suspicions_refuted),
+                node=pid, kind="counter",
             )
 
     def run_for(self, seconds: float) -> None:

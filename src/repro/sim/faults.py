@@ -50,6 +50,22 @@ class Restart:
 
 
 @dataclass(frozen=True)
+class Join:
+    """Spawn a brand-new node — a pid the deployment has never seen —
+    at ``at_s`` (idempotent if the pid already exists).
+
+    Open membership: unlike :class:`Restart` (which re-boots a known
+    host), the joiner is built from nothing mid-run.  The cluster must
+    expose ``spawn(pid)``; the gossip-detection path does — the new
+    node's pings introduce it to the live members' detectors, and
+    ``notify_peer_alive`` pulls it into the next gather round.
+    """
+
+    at_s: float
+    pid: int
+
+
+@dataclass(frozen=True)
 class Partition:
     """Split the switch into isolated port groups at ``at_s``.
 
@@ -143,6 +159,7 @@ RECURRING_KINDS = (Flap, Churn)
 _EVENT_KINDS = {
     "crash": Crash,
     "restart": Restart,
+    "join": Join,
     "partition": Partition,
     "heal": Heal,
     "token_drop": TokenDrop,
@@ -266,6 +283,9 @@ class FaultSchedule:
         elif kind is Restart:
             if cluster.nodes[event.pid].crashed:
                 cluster.restart(event.pid)
+        elif kind is Join:
+            if event.pid not in cluster.nodes:
+                cluster.spawn(event.pid)
         elif kind is Partition:
             cluster.set_partition(*event.groups)
         elif kind is Heal:

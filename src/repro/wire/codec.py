@@ -60,6 +60,7 @@ from ..membership.messages import (
     RecoveryComplete,
     RecoveryData,
 )
+from ..multiring.messages import RoundMarker
 from ..spreadlike.protocol import (
     ClientDisconnect,
     ClientId,
@@ -218,6 +219,7 @@ _OBJECT_SCHEMAS: Dict[int, Tuple[type, Tuple[str, ...]]] = {
     0x38: (MembershipNotice, ("group", "members", "joined", "left", "seq")),
     0x39: (PackedItem, ("payload", "payload_size", "submitted_at")),
     0x3A: (PackedPayload, ("items",)),
+    0x3B: (RoundMarker, ("ring_index", "round")),
 }
 _OBJECT_TAGS = {cls: tag for tag, (cls, _) in _OBJECT_SCHEMAS.items()}
 

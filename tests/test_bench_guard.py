@@ -7,7 +7,8 @@ import pytest
 from repro.bench import guard
 
 
-def write_records(directory, kernel=None, codec=None, churn=None, obs=None):
+def write_records(directory, kernel=None, codec=None, churn=None, obs=None,
+                  multiring=None):
     directory.mkdir(parents=True, exist_ok=True)
     kernel_record = {
         "events_per_sec_best": 3_000_000,
@@ -39,12 +40,24 @@ def write_records(directory, kernel=None, codec=None, churn=None, obs=None):
         "tracing_throughput_ratio": 0.93,
     }
     obs_record.update(obs or {})
+    multiring_record = {
+        "metrics": {
+            "aggregate_msgs_per_s_m4": 118_000.0,
+            "scaling_x_m4": 4.0,
+            "latency_flatness_m4": 0.99,
+        },
+    }
+    if multiring:
+        multiring_record["metrics"].update(multiring)
     (directory / "kernel.json").write_text(json.dumps(kernel_record))
     (directory / "codec.json").write_text(json.dumps(codec_record))
     (directory / "churn_convergence.json").write_text(
         json.dumps(churn_record)
     )
     (directory / "obs_overhead.json").write_text(json.dumps(obs_record))
+    (directory / "multiring_scaling.json").write_text(
+        json.dumps(multiring_record)
+    )
 
 
 def test_identical_records_pass(tmp_path):
@@ -53,7 +66,7 @@ def test_identical_records_pass(tmp_path):
     regressions, lines = guard.compare(
         str(tmp_path / "base"), str(tmp_path / "fresh"))
     assert regressions == []
-    assert sum(1 for _ in lines) == 12  # every guarded metric reported
+    assert sum(1 for _ in lines) == 15  # every guarded metric reported
 
 
 def test_slowdown_within_tolerance_passes(tmp_path):

@@ -1,0 +1,56 @@
+"""RoundMarker on the wire: codec registration and size drift-guard."""
+
+from repro.core.config import Service
+from repro.core.messages import DataMessage
+from repro.multiring import MARKER_WIRE_SIZE, RoundMarker
+from repro.wire import codec
+
+
+def test_marker_roundtrips_as_a_data_payload():
+    message = DataMessage(
+        seq=42, pid=3, round=7, service=Service.AGREED,
+        payload=RoundMarker(ring_index=2, round=91),
+        payload_size=MARKER_WIRE_SIZE,
+    )
+    assert codec.decode(codec.encode(message)) == message
+
+
+def test_marker_roundtrips_inside_containers():
+    payload = ("wrapped", [RoundMarker(0, 1), RoundMarker(1, 2)])
+    message = DataMessage(
+        seq=1, pid=0, round=1, service=Service.AGREED,
+        payload=payload, payload_size=100,
+    )
+    assert codec.decode(codec.encode(message)).payload == payload
+
+
+def test_marker_wire_size_constant_matches_codec():
+    """The sim charges markers MARKER_WIRE_SIZE bytes of payload; this
+    pins the constant to the codec's actual value encoding so the two
+    can never drift apart silently."""
+    chunk = bytearray()
+    codec._encode_value(RoundMarker(ring_index=7, round=123456), chunk)
+    assert len(chunk) == MARKER_WIRE_SIZE
+    # Field values do not change the size (both fields are fixed i64).
+    chunk2 = bytearray()
+    codec._encode_value(RoundMarker(ring_index=0, round=1), chunk2)
+    assert len(chunk2) == MARKER_WIRE_SIZE
+
+
+def test_oversized_round_number_still_roundtrips():
+    # Rounds past i64 take the BIGINT value encoding (larger frame,
+    # same exact round-trip) — a ring would need ~10^18 rounds first.
+    too_big = RoundMarker(ring_index=0, round=1 << 70)
+    message = DataMessage(
+        seq=1, pid=0, round=1, service=Service.AGREED,
+        payload=too_big, payload_size=64,
+    )
+    assert codec.decode(codec.encode(message)).payload == too_big
+
+
+def test_marker_tag_is_stable():
+    """0x3B is RoundMarker's wire tag forever (append-only registry)."""
+    assert codec._OBJECT_TAGS[RoundMarker] == 0x3B
+    cls, fields = codec._OBJECT_SCHEMAS[0x3B]
+    assert cls is RoundMarker
+    assert fields == ("ring_index", "round")
