@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full bench-smoke bench-guard campaign-smoke churn-smoke multiring-smoke obs-smoke wire-fuzz-smoke examples figures clean
+.PHONY: install test test-fast lint bench bench-full bench-smoke bench-guard campaign-smoke churn-smoke multiring-smoke obs-smoke wire-fuzz-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -14,6 +14,16 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -q -x --ignore=tests/test_properties.py \
 		--ignore=tests/test_properties_model.py \
 		--ignore=tests/test_packing_properties.py
+
+# Repo-specific static analysis (repro.analysis): determinism,
+# sans-IO boundary, __slots__ completeness and wire-drift lints over
+# src/repro, gated against the committed lint_baseline.json.  Fails on
+# any non-baselined finding and writes the JSON report CI uploads as
+# an artifact.  This is what CI runs.
+lint:
+	$(PYTHON) -m repro.cli lint src/repro \
+		--baseline lint_baseline.json \
+		--json bench_results/fresh/lint_report.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — alias for ``python -m repro.cli lint``."""
+
+import sys
+
+from ..cli import run_lint_command
+
+if __name__ == "__main__":
+    raise SystemExit(run_lint_command(sys.argv[1:]))

@@ -1,0 +1,52 @@
+"""Rule registry for ``repro.analysis``.
+
+Adding a rule (DESIGN.md §14): subclass :class:`~.base.Rule` in the
+matching family module (or a new one), implement ``applies``/``check``,
+and append an instance to :data:`ALL_RULES`.  The fixture-corpus test
+(``tests/test_analysis_rules.py``) requires every registered rule id to
+have at least one caught-violation fixture and one clean-pass fixture.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .base import Finding, ModuleContext, Rule, module_matches
+from .boundaries import SansIOImportRule
+from .determinism import (
+    BannedEntropyRule,
+    BannedTimeRule,
+    SetIterationRule,
+    UnseededRngRule,
+)
+from .slots import SlotsRule
+from .wire_drift import WireSizeRule, WireTagRule
+
+ALL_RULES: Tuple[Rule, ...] = (
+    BannedTimeRule(),
+    BannedEntropyRule(),
+    UnseededRngRule(),
+    SetIterationRule(),
+    SansIOImportRule(),
+    SlotsRule(),
+    WireSizeRule(),
+    WireTagRule(),
+)
+
+
+def all_rule_ids() -> List[str]:
+    """Every reportable rule id (families expand to their members)."""
+    ids: List[str] = []
+    for rule in ALL_RULES:
+        ids.extend(getattr(rule, "rule_ids", (rule.rule_id,)))
+    return ids
+
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rule_ids",
+    "module_matches",
+]

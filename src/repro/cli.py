@@ -541,9 +541,132 @@ def run_obs_sample_command(argv: List[str]) -> int:
     return 0
 
 
+def run_lint_command(argv: List[str]) -> int:
+    """The ``lint`` tool: repo-specific static analysis as a hard gate.
+
+    Exit status: 0 when every finding is baselined (or there are none),
+    1 on any new finding or parse error, 2 on bad usage.
+    """
+    import json
+    import time
+
+    from . import analysis
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli lint",
+        description="Determinism, sans-IO-boundary, __slots__ and "
+                    "wire-drift lints over the repro package "
+                    "(DESIGN.md section 14).",
+    )
+    parser.add_argument(
+        "root", nargs="?", default=None,
+        help="package directory to lint (default: the installed "
+             "repro package)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", dest="json_out", default=None,
+        help="write the full JSON report to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppression baseline (default: lint_baseline.json in "
+             "the CWD or next to the package)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file: report and gate on everything",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline to suppress every current finding, "
+             "then exit 0",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-finding lines; print only the summary",
+    )
+    args = parser.parse_args(argv)
+
+    package_root = args.root
+    if package_root is None:
+        package_root = os.path.dirname(os.path.abspath(__file__))
+    if not os.path.isdir(package_root):
+        print("lint: no such directory: %s" % package_root,
+              file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        candidates = [
+            analysis.DEFAULT_BASELINE_NAME,
+            os.path.join(package_root, os.pardir, os.pardir,
+                         analysis.DEFAULT_BASELINE_NAME),
+        ]
+        for candidate in candidates:
+            if os.path.exists(candidate):
+                baseline_path = candidate
+                break
+        else:
+            baseline_path = candidates[0]
+
+    started = time.perf_counter()
+    report = analysis.analyze_tree(package_root)
+    elapsed = time.perf_counter() - started
+
+    if args.write_baseline:
+        analysis.write_baseline(baseline_path, report.findings)
+        print("lint: wrote %s suppressing %d finding(s)"
+              % (baseline_path, len(report.findings)))
+        return 0
+
+    baseline = set() if args.no_baseline else \
+        analysis.load_baseline(baseline_path)
+    split = analysis.split_by_baseline(report.findings, baseline)
+    new, baselined = split["new"], split["baselined"]
+
+    if args.json_out is not None:
+        payload = report.to_dict()
+        payload["baseline"] = baseline_path
+        payload["baselined_count"] = len(baselined)
+        payload["new_count"] = len(new)
+        payload["new"] = [f.to_dict() for f in new]
+        rendered = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json_out == "-":
+            print(rendered)
+        else:
+            directory = os.path.dirname(args.json_out)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(args.json_out, "w") as handle:
+                handle.write(rendered + "\n")
+
+    if not args.quiet:
+        for finding in new:
+            print(finding.render())
+        for error in report.parse_errors:
+            print("parse error: %s" % error)
+    stale = baseline - {f.fingerprint for f in baselined}
+    print(
+        "lint: %d file(s), %d finding(s) (%d new, %d baselined), "
+        "%.2fs" % (report.files_scanned, len(report.findings),
+                   len(new), len(baselined), elapsed),
+        file=sys.stderr,
+    )
+    if stale and not args.quiet:
+        print(
+            "lint: %d stale baseline entr%s (fixed findings still "
+            "suppressed) — rerun with --write-baseline to prune"
+            % (len(stale), "y" if len(stale) == 1 else "ies"),
+            file=sys.stderr,
+        )
+    return 1 if (new or report.parse_errors) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return run_lint_command(argv[1:])
     if argv and argv[0] == "decode":
         return run_decode_command(argv[1:])
     if argv and argv[0] == "capture-sample":
@@ -567,7 +690,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment",
         help="experiment id (e.g. fig1), 'all', 'list', 'campaign', "
              "'churn', 'multiring', 'decode', 'capture-sample', "
-             "'report', 'trace-analyze', or 'obs-sample'",
+             "'report', 'trace-analyze', 'obs-sample', or 'lint'",
     )
     parser.add_argument(
         "--full", action="store_true",

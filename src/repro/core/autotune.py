@@ -24,7 +24,7 @@ from . import events as ev
 from .participant import Participant
 
 
-@dataclass
+@dataclass(slots=True)
 class TunerConfig:
     """AIMD parameters."""
 
@@ -46,6 +46,10 @@ class AcceleratedWindowTuner:
     Subscribes to the participant's event hub; no protocol changes are
     required, and the tuner can be attached or detached at any time.
     """
+
+    __slots__ = ("participant", "config", "_max_window",
+                 "_rounds_in_epoch", "_own_post_token_losses",
+                 "epochs", "increases", "decreases")
 
     def __init__(self, participant: Participant,
                  config: TunerConfig = TunerConfig()) -> None:

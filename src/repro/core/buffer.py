@@ -18,6 +18,9 @@ from .messages import DataMessage
 class ReceiveBuffer:
     """Messages received but not yet discarded, indexed by seq."""
 
+    __slots__ = ("_messages", "_local_aru", "_discarded_upto",
+                 "_highest_seq_seen")
+
     def __init__(self) -> None:
         self._messages: Dict[int, DataMessage] = {}
         self._local_aru = 0

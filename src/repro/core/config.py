@@ -51,7 +51,7 @@ class Service(enum.Enum):
         return self is Service.SAFE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProtocolConfig:
     """Tunable parameters of one ring.  Immutable; use :meth:`evolve`."""
 

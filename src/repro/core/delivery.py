@@ -26,6 +26,9 @@ _SAFE = Service.SAFE
 class DeliveryEngine:
     """Tracks the delivery frontier and the Safe stability bound."""
 
+    __slots__ = ("_delivered_upto", "_safe_bound", "_aru_sent_this_round",
+                 "_aru_sent_last_round", "total_delivered")
+
     def __init__(self) -> None:
         self._delivered_upto = 0
         self._safe_bound = 0

@@ -32,6 +32,8 @@ DUPLICATE_TOKEN = "duplicate_token"      # (pid, token)
 class EventHub:
     """A tiny synchronous pub/sub used for protocol observability."""
 
+    __slots__ = ("_subscribers", "counts", "active")
+
     def __init__(self) -> None:
         self._subscribers: DefaultDict[str, List[Subscriber]] = defaultdict(list)
         self.counts: Dict[str, int] = defaultdict(int)

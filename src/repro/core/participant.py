@@ -74,6 +74,14 @@ class ParticipantStats:
 class Participant:
     """One member of an established ring running the ordering protocol."""
 
+    __slots__ = (
+        "pid", "ring", "config", "hub", "stats",
+        "_buffer", "_delivery", "_retransmit", "_priority", "_pending",
+        "_accelerated_window", "_last_received_hop", "_sent_last_round",
+        "_last_token_sent", "_max_round_seen",
+        "_trace_sent", "_trace_received", "_trace_token",
+    )
+
     def __init__(
         self,
         pid: int,

@@ -29,6 +29,9 @@ from .messages import DataMessage
 class PriorityTracker:
     """Decides whether a pending token outranks pending data messages."""
 
+    __slots__ = ("_method", "_ring_size", "_predecessor", "_ring_index",
+                 "_last_handled_hop", "_token_high")
+
     def __init__(
         self,
         method: PriorityMethod,

@@ -20,6 +20,8 @@ from .messages import DataMessage, Token
 class RetransmitTracker:
     """Per-participant rtr state: the previous-round seq horizon."""
 
+    __slots__ = ("_request_horizon", "requests_issued", "requests_answered")
+
     def __init__(self) -> None:
         #: seq of the token received in the previous round; gaps are only
         #: requested up to this horizon.

@@ -8,7 +8,7 @@ from typing import Iterator, Sequence, Tuple
 from .errors import RingError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ring:
     """An established ring: an ordered tuple of participant ids.
 

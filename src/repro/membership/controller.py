@@ -591,7 +591,9 @@ class EVSProcess:
         # chase each other forever.  Silence must outlast a full commit
         # attempt (several consecutive timeouts) to count as death.
         silent = set()
-        for pid in self._proc_set - set(self._joins) - {self.pid} - self._fail_set:
+        for pid in sorted(
+                self._proc_set - set(self._joins) - {self.pid}
+                - self._fail_set):
             strikes = self._silence_strikes.get(pid, 0) + 1
             self._silence_strikes[pid] = strikes
             if strikes >= 3:

@@ -66,7 +66,7 @@ _STATUS_NAMES = {ALIVE: "alive", SUSPECT: "suspect", DEAD: "dead"}
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipUpdate:
     """One piggybacked membership claim: ``pid`` is ``status`` at ``incarnation``."""
 
@@ -81,7 +81,7 @@ class GossipUpdate:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipPing:
     """Direct probe; the receiver answers with a :class:`GossipAck`."""
 
@@ -91,7 +91,7 @@ class GossipPing:
     updates: Tuple[GossipUpdate, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipPingReq:
     """Indirect probe request: "ping ``target`` for me, relay its ack"."""
 
@@ -102,7 +102,7 @@ class GossipPingReq:
     updates: Tuple[GossipUpdate, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipAck:
     """Liveness attestation for ``sender`` answering ``probe_id``.
 
@@ -126,7 +126,7 @@ GOSSIP_MESSAGE_TYPES = (GossipPing, GossipPingReq, GossipAck)
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PeerAlive:
     """``pid`` is (back) among the living — merge/rejoin trigger."""
 
@@ -134,7 +134,7 @@ class PeerAlive:
     incarnation: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PeerSuspect:
     """``pid`` missed a whole probe round (direct + indirect)."""
 
@@ -142,7 +142,7 @@ class PeerSuspect:
     incarnation: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PeerConfirm:
     """``pid``'s suspicion expired unrefuted: declared dead."""
 
@@ -155,7 +155,7 @@ class PeerConfirm:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class GossipConfig:
     """All timing in detector ticks (the host defines the tick length)."""
 
@@ -227,6 +227,13 @@ class GossipDetector:
     from ``(seed, pid)``, so a simulated cluster replays identically;
     two detectors never share an RNG.
     """
+
+    __slots__ = (
+        "pid", "config", "incarnation", "_tick", "_rng", "_members",
+        "_probe_order", "_probe_cursor", "_round_counter",
+        "_recon_cursor", "_probe_seq", "_inflight", "_relays",
+        "_buffer", "messages_sent", "false_suspicions_refuted",
+    )
 
     def __init__(
         self,

@@ -51,6 +51,8 @@ class BernoulliLoss:
     (drops still aggregate into this instance's ``dropped``).
     """
 
+    __slots__ = ("p", "seed", "spare_token", "_rng", "_parent", "dropped")
+
     def __init__(self, p: float, seed: int = 0, spare_token: bool = False) -> None:
         if not 0.0 <= p <= 1.0:
             raise ValueError("loss probability must be in [0, 1], got %r" % p)
@@ -92,6 +94,8 @@ class TargetedLoss:
     Example: drop the 3rd data frame from host 2, or every token once.
     """
 
+    __slots__ = ("_should_drop", "_max_drops", "dropped")
+
     def __init__(self, should_drop: Callable[[Frame], bool], max_drops: Optional[int] = None) -> None:
         self._should_drop = should_drop
         self._max_drops = max_drops
@@ -113,6 +117,8 @@ class SequenceLoss:
     frames without one are never dropped.  Each seq is dropped at most
     ``times`` times, so retransmissions eventually get through.
     """
+
+    __slots__ = ("_remaining", "dropped")
 
     def __init__(self, seqs: Iterable[int], times: int = 1) -> None:
         self._remaining = {seq: times for seq in seqs}
@@ -144,6 +150,9 @@ class PerFragmentLoss:
     A datagram spanning k fragments is therefore lost with probability
     1 - (1 - p)^k — loss amplification that grows with payload size.
     """
+
+    __slots__ = ("p", "seed", "spare_token", "_rng", "_parent",
+                 "dropped", "fragments_seen")
 
     def __init__(self, p_per_fragment: float, seed: int = 0,
                  spare_token: bool = True) -> None:
@@ -190,6 +199,8 @@ class ReceiverLoss:
     lost by one participant and received by the rest — the scenario that
     makes retransmission requests participant-specific.
     """
+
+    __slots__ = ("_receivers", "_inner", "dropped")
 
     def __init__(self, receivers: Iterable[int], inner: LossModel) -> None:
         self._receivers: Set[int] = set(receivers)

@@ -18,7 +18,7 @@ from .nic import Nic
 from .switch import Switch
 
 
-@dataclass
+@dataclass(slots=True)
 class FabricSnapshot:
     """Aggregated counters at one instant."""
 
@@ -39,6 +39,8 @@ class FabricSnapshot:
 
 class FabricMonitor:
     """Aggregates NIC and switch counters; can sample queue depths."""
+
+    __slots__ = ("sim", "switch", "nics", "samples")
 
     def __init__(self, sim: Simulator, switch: Switch, nics: List[Nic]) -> None:
         self.sim = sim

@@ -22,6 +22,12 @@ from .links import LinkSpec
 class Nic:
     """Transmit path of one host: bounded byte queue + line-rate clocking."""
 
+    __slots__ = (
+        "sim", "host_id", "spec", "_deliver_to_switch", "_queue",
+        "_queued_bytes", "_queue_limit", "_wakeup", "_sim_ready",
+        "frames_sent", "bytes_sent", "drops_overflow", "_process",
+    )
+
     def __init__(
         self,
         sim: Simulator,

@@ -35,6 +35,13 @@ TRAFFIC_CLASSES = ("data", "jumbo", "token", "gossip", "ctrl")
 class SwitchPort:
     """One output port: bounded byte queue draining at line rate."""
 
+    __slots__ = (
+        "sim", "host_id", "spec", "_deliver", "_loss", "_queue",
+        "_queued_bytes", "_queue_limit", "_wakeup", "_sim_ready",
+        "frames_forwarded", "bytes_forwarded", "drops_overflow",
+        "drops_injected", "max_queue_bytes", "_process",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -125,6 +132,13 @@ class SwitchPort:
 
 class Switch:
     """The crossbar: receives ingress frames, replicates, enqueues egress."""
+
+    __slots__ = (
+        "sim", "spec", "_ports", "_fanout", "_partition",
+        "_fault_filters", "_capture", "frames_received",
+        "drops_partition", "drops_fault", "class_frames", "class_bytes",
+        "_data_class_cache", "_ctrl_class_cache",
+    )
 
     def __init__(self, sim: Simulator, spec: LinkSpec) -> None:
         self.sim = sim

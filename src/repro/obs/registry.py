@@ -191,6 +191,8 @@ class _BoundFn:
 class MetricsRegistry:
     """Named counters/gauges/histograms with per-node and cluster views."""
 
+    __slots__ = ("_metrics",)
+
     def __init__(self) -> None:
         #: (name, node) -> instrument, in registration order.
         self._metrics: Dict[Tuple[str, Optional[int]], Any] = {}

@@ -39,6 +39,17 @@ from .profiles import CostProfile
 class SimNode:
     """One ring participant bound to the simulated network."""
 
+    __slots__ = (
+        "sim", "pid", "profile", "spec", "recorder", "participant",
+        "nic", "_deliver_callback", "_token_queue", "_data_queue",
+        "_data_queue_bytes", "_socket_buffer_bytes", "_wakeup",
+        "_sim_ready", "_timeout_recv_token", "_timeout_send_token",
+        "_recv_timeouts", "_send_timeouts", "_deliver_timeouts",
+        "_jumbo_bytes", "socket_drops", "tokens_resent",
+        "_retransmit_deadline", "_trace_send", "_trace_delivery",
+        "_trace_coalesce", "_process",
+    )
+
     def __init__(
         self,
         sim: Simulator,

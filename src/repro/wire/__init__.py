@@ -7,6 +7,8 @@ is struct-packed, versioned, CRC-protected and pickle-free, so a
 malformed or hostile datagram can be rejected without executing
 anything.
 
+* :mod:`.tags`    — the single registry of frame-type and TLV tag
+  numbers (checked for uniqueness by ``repro.analysis``).
 * :mod:`.codec`   — encode/decode for data messages, the token,
   membership control messages and the spreadlike client protocol.
 * :mod:`.capture` — the ``.rcap`` packet-capture format plus taps for

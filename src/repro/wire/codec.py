@@ -61,6 +61,47 @@ from ..membership.messages import (
     RecoveryData,
 )
 from ..multiring.messages import RoundMarker
+from .tags import (
+    OBJECT_TAG_CLIENT_DISCONNECT,
+    OBJECT_TAG_CLIENT_ID,
+    OBJECT_TAG_GROUP_CAST,
+    OBJECT_TAG_GROUP_JOIN,
+    OBJECT_TAG_GROUP_LEAVE,
+    OBJECT_TAG_GROUP_MESSAGE,
+    OBJECT_TAG_MEMBERSHIP_NOTICE,
+    OBJECT_TAG_PACKED_ITEM,
+    OBJECT_TAG_PACKED_PAYLOAD,
+    OBJECT_TAG_PRIVATE_CAST,
+    OBJECT_TAG_PRIVATE_MESSAGE,
+    OBJECT_TAG_ROUND_MARKER,
+    TYPE_COMMIT_TOKEN,
+    TYPE_DATA,
+    TYPE_GOSSIP_ACK,
+    TYPE_GOSSIP_PING,
+    TYPE_GOSSIP_PING_REQ,
+    TYPE_JOIN,
+    TYPE_JUMBO,
+    TYPE_NAMES,
+    TYPE_PROBE,
+    TYPE_RECOVERY_COMPLETE,
+    TYPE_RECOVERY_DATA,
+    TYPE_TOKEN,
+    VALUE_BIGINT,
+    VALUE_BYTES,
+    VALUE_DATA_MESSAGE,
+    VALUE_DICT,
+    VALUE_FALSE,
+    VALUE_FLOAT,
+    VALUE_FROZENSET,
+    VALUE_INT64,
+    VALUE_LIST,
+    VALUE_NONE,
+    VALUE_SERVICE,
+    VALUE_SET,
+    VALUE_STR,
+    VALUE_TRUE,
+    VALUE_TUPLE,
+)
 from ..spreadlike.protocol import (
     ClientDisconnect,
     ClientId,
@@ -94,32 +135,9 @@ _HEADER = struct.Struct("<2sBBII")
 HEADER_SIZE = _HEADER.size  # 12
 
 # -- message types -----------------------------------------------------------
-
-TYPE_DATA = 1
-TYPE_TOKEN = 2
-TYPE_PROBE = 3
-TYPE_JOIN = 4
-TYPE_COMMIT_TOKEN = 5
-TYPE_RECOVERY_DATA = 6
-TYPE_RECOVERY_COMPLETE = 7
-TYPE_JUMBO = 8
-TYPE_GOSSIP_PING = 9
-TYPE_GOSSIP_PING_REQ = 10
-TYPE_GOSSIP_ACK = 11
-
-TYPE_NAMES = {
-    TYPE_DATA: "data",
-    TYPE_TOKEN: "token",
-    TYPE_PROBE: "probe",
-    TYPE_JOIN: "join",
-    TYPE_COMMIT_TOKEN: "commit-token",
-    TYPE_RECOVERY_DATA: "recovery-data",
-    TYPE_RECOVERY_COMPLETE: "recovery-complete",
-    TYPE_JUMBO: "jumbo",
-    TYPE_GOSSIP_PING: "gossip-ping",
-    TYPE_GOSSIP_PING_REQ: "gossip-ping-req",
-    TYPE_GOSSIP_ACK: "gossip-ack",
-}
+# Tag numbers live in repro.wire.tags (the single registry the wire-drift
+# lint checks for uniqueness); imported above and re-exported here so
+# existing callers keep reading codec.TYPE_* / codec.TYPE_NAMES.
 
 # -- fixed body layouts ------------------------------------------------------
 
@@ -188,38 +206,49 @@ _I64_MAX = (1 << 63) - 1
 _MAX_DEPTH = 64
 
 # -- value codec tags --------------------------------------------------------
+# TLV tag numbers also live in repro.wire.tags; primitive VALUE_* and
+# OBJECT_TAG_* share one byte-space, so the registry keeps them jointly
+# unique.  The private _V_* aliases preserve the codec's internal idiom.
 
-_V_NONE = 0x00
-_V_TRUE = 0x01
-_V_FALSE = 0x02
-_V_INT64 = 0x03
-_V_BIGINT = 0x04
-_V_FLOAT = 0x05
-_V_BYTES = 0x06
-_V_STR = 0x07
-_V_TUPLE = 0x08
-_V_LIST = 0x09
-_V_DICT = 0x0A
-_V_FROZENSET = 0x0B
-_V_SET = 0x0C
-_V_SERVICE = 0x20
-_V_DATA_MESSAGE = 0x21
+_V_NONE = VALUE_NONE
+_V_TRUE = VALUE_TRUE
+_V_FALSE = VALUE_FALSE
+_V_INT64 = VALUE_INT64
+_V_BIGINT = VALUE_BIGINT
+_V_FLOAT = VALUE_FLOAT
+_V_BYTES = VALUE_BYTES
+_V_STR = VALUE_STR
+_V_TUPLE = VALUE_TUPLE
+_V_LIST = VALUE_LIST
+_V_DICT = VALUE_DICT
+_V_FROZENSET = VALUE_FROZENSET
+_V_SET = VALUE_SET
+_V_SERVICE = VALUE_SERVICE
+_V_DATA_MESSAGE = VALUE_DATA_MESSAGE
 
 #: Registered protocol dataclasses: tag -> (class, field names).  The
 #: field list is the wire schema — append-only within a wire version.
 _OBJECT_SCHEMAS: Dict[int, Tuple[type, Tuple[str, ...]]] = {
-    0x30: (ClientId, ("daemon", "name")),
-    0x31: (GroupJoin, ("group", "client")),
-    0x32: (GroupLeave, ("group", "client")),
-    0x33: (ClientDisconnect, ("client",)),
-    0x34: (PrivateCast, ("dst", "sender", "payload")),
-    0x35: (GroupCast, ("groups", "sender", "payload")),
-    0x36: (GroupMessage, ("groups", "sender", "payload", "service", "seq")),
-    0x37: (PrivateMessage, ("sender", "payload", "service", "seq")),
-    0x38: (MembershipNotice, ("group", "members", "joined", "left", "seq")),
-    0x39: (PackedItem, ("payload", "payload_size", "submitted_at")),
-    0x3A: (PackedPayload, ("items",)),
-    0x3B: (RoundMarker, ("ring_index", "round")),
+    OBJECT_TAG_CLIENT_ID: (ClientId, ("daemon", "name")),
+    OBJECT_TAG_GROUP_JOIN: (GroupJoin, ("group", "client")),
+    OBJECT_TAG_GROUP_LEAVE: (GroupLeave, ("group", "client")),
+    OBJECT_TAG_CLIENT_DISCONNECT: (ClientDisconnect, ("client",)),
+    OBJECT_TAG_PRIVATE_CAST: (PrivateCast, ("dst", "sender", "payload")),
+    OBJECT_TAG_GROUP_CAST: (GroupCast, ("groups", "sender", "payload")),
+    OBJECT_TAG_GROUP_MESSAGE: (
+        GroupMessage, ("groups", "sender", "payload", "service", "seq")
+    ),
+    OBJECT_TAG_PRIVATE_MESSAGE: (
+        PrivateMessage, ("sender", "payload", "service", "seq")
+    ),
+    OBJECT_TAG_MEMBERSHIP_NOTICE: (
+        MembershipNotice, ("group", "members", "joined", "left", "seq")
+    ),
+    OBJECT_TAG_PACKED_ITEM: (
+        PackedItem, ("payload", "payload_size", "submitted_at")
+    ),
+    OBJECT_TAG_PACKED_PAYLOAD: (PackedPayload, ("items",)),
+    OBJECT_TAG_ROUND_MARKER: (RoundMarker, ("ring_index", "round")),
 }
 _OBJECT_TAGS = {cls: tag for tag, (cls, _) in _OBJECT_SCHEMAS.items()}
 

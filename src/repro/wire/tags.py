@@ -1,0 +1,94 @@
+"""Central registry of every wire tag number.
+
+Three byte-spaces live here, and **only** here — the codec, the capture
+and trace tooling, and the static wire-drift lint
+(:mod:`repro.analysis.rules.wire_drift`) all import from this module
+rather than repeating literals:
+
+``TYPE_*``
+    Frame message types: the third byte of the 12-byte frame header.
+    One per top-level datagram kind (data, token, membership, jumbo,
+    gossip).  :data:`TYPE_NAMES` is the display-name table the decode
+    analyzer uses.
+
+``VALUE_*``
+    Value-codec tags: the leading byte of every TLV-encoded value
+    inside a data payload, a commit token, or a recovery snapshot.
+
+``OBJECT_TAG_*``
+    Registered protocol dataclasses (spreadlike client/group traffic,
+    packed payloads, the multi-ring RoundMarker).  These share the TLV
+    tag byte-space with ``VALUE_*`` — a value decoder reading a tag
+    byte cannot tell "primitive" from "object" except by number — so
+    the two families must be *jointly* unique.  The lint enforces
+    exactly that (namespace ``tlv``), plus uniqueness of ``TYPE_*``
+    (namespace ``frame``).
+
+Append-only within a wire version: removing or renumbering a tag is a
+:data:`repro.wire.codec.WIRE_VERSION` bump.  Adding a tag means adding
+it here (the lint rejects integer tag literals anywhere else under
+``repro/wire/``) and extending the matching schema table in the codec.
+"""
+
+from __future__ import annotations
+
+# -- frame message types (header byte 3) -- namespace: frame ----------------
+
+TYPE_DATA = 1
+TYPE_TOKEN = 2
+TYPE_PROBE = 3
+TYPE_JOIN = 4
+TYPE_COMMIT_TOKEN = 5
+TYPE_RECOVERY_DATA = 6
+TYPE_RECOVERY_COMPLETE = 7
+TYPE_JUMBO = 8
+TYPE_GOSSIP_PING = 9
+TYPE_GOSSIP_PING_REQ = 10
+TYPE_GOSSIP_ACK = 11
+
+TYPE_NAMES = {
+    TYPE_DATA: "data",
+    TYPE_TOKEN: "token",
+    TYPE_PROBE: "probe",
+    TYPE_JOIN: "join",
+    TYPE_COMMIT_TOKEN: "commit-token",
+    TYPE_RECOVERY_DATA: "recovery-data",
+    TYPE_RECOVERY_COMPLETE: "recovery-complete",
+    TYPE_JUMBO: "jumbo",
+    TYPE_GOSSIP_PING: "gossip-ping",
+    TYPE_GOSSIP_PING_REQ: "gossip-ping-req",
+    TYPE_GOSSIP_ACK: "gossip-ack",
+}
+
+# -- value-codec primitive tags -- namespace: tlv ---------------------------
+
+VALUE_NONE = 0x00
+VALUE_TRUE = 0x01
+VALUE_FALSE = 0x02
+VALUE_INT64 = 0x03
+VALUE_BIGINT = 0x04
+VALUE_FLOAT = 0x05
+VALUE_BYTES = 0x06
+VALUE_STR = 0x07
+VALUE_TUPLE = 0x08
+VALUE_LIST = 0x09
+VALUE_DICT = 0x0A
+VALUE_FROZENSET = 0x0B
+VALUE_SET = 0x0C
+VALUE_SERVICE = 0x20
+VALUE_DATA_MESSAGE = 0x21
+
+# -- registered protocol object tags -- namespace: tlv (shared byte-space) --
+
+OBJECT_TAG_CLIENT_ID = 0x30
+OBJECT_TAG_GROUP_JOIN = 0x31
+OBJECT_TAG_GROUP_LEAVE = 0x32
+OBJECT_TAG_CLIENT_DISCONNECT = 0x33
+OBJECT_TAG_PRIVATE_CAST = 0x34
+OBJECT_TAG_GROUP_CAST = 0x35
+OBJECT_TAG_GROUP_MESSAGE = 0x36
+OBJECT_TAG_PRIVATE_MESSAGE = 0x37
+OBJECT_TAG_MEMBERSHIP_NOTICE = 0x38
+OBJECT_TAG_PACKED_ITEM = 0x39
+OBJECT_TAG_PACKED_PAYLOAD = 0x3A
+OBJECT_TAG_ROUND_MARKER = 0x3B

@@ -1,0 +1,12 @@
+"""DET-ENTROPY fixture: OS entropy sources in a sans-IO module."""
+
+import os
+import uuid
+
+
+def mint_connection_id():
+    return uuid.uuid4()
+
+
+def mint_nonce():
+    return os.urandom(16)

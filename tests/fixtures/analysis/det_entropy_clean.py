@@ -1,0 +1,11 @@
+"""DET-ENTROPY clean fixture: identifiers derive from the run seed."""
+
+import random
+
+
+def mint_connection_id(rng):
+    return rng.getrandbits(64)
+
+
+def make_rng(seed):
+    return random.Random(seed)

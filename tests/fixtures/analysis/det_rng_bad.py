@@ -1,0 +1,16 @@
+"""DET-RNG fixture: process-global random state in a sans-IO module."""
+
+import random
+from random import randint
+
+
+def jitter(base):
+    return base + random.random()
+
+
+def pick(items):
+    return items[randint(0, len(items) - 1)]
+
+
+def fresh_rng():
+    return random.Random()

@@ -1,0 +1,11 @@
+"""DET-RNG clean fixture: an explicitly seeded instance, threaded."""
+
+import random
+
+
+def jitter(base, rng):
+    return base + rng.random()
+
+
+def make_rng(seed):
+    return random.Random(seed)

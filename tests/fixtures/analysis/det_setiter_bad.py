@@ -1,0 +1,15 @@
+"""DET-SETITER fixture: hash-order iteration over set expressions."""
+
+
+def broadcast(peers, self_id):
+    for peer in peers - {self_id}:
+        yield peer
+
+
+def snapshot(table):
+    members = set(table)
+    return [entry for entry in members]
+
+
+def pair_up():
+    return list({"a", "b", "c"})

@@ -1,0 +1,16 @@
+"""DET-SETITER clean fixture: set order erased before iteration."""
+
+
+def broadcast(peers, down):
+    for peer in sorted(peers - down):
+        yield peer
+
+
+def snapshot(table):
+    members = set(table)
+    return sorted(entry for entry in members)
+
+
+def census(table):
+    members = set(table)
+    return len(members), min(members)

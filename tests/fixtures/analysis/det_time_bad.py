@@ -1,0 +1,13 @@
+"""DET-TIME fixture: wall-clock reads in a sans-IO module."""
+
+import time
+from datetime import datetime
+
+
+def stamp_message(msg):
+    msg.sent_at = time.time()
+    return msg
+
+
+def log_line(text):
+    return "%s %s" % (datetime.now().isoformat(), text)

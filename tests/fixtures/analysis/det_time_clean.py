@@ -1,0 +1,10 @@
+"""DET-TIME clean fixture: the driver supplies the clock."""
+
+
+def stamp_message(msg, now_ticks):
+    msg.sent_at = now_ticks
+    return msg
+
+
+def log_line(text, now_ticks):
+    return "[%d] %s" % (now_ticks, text)

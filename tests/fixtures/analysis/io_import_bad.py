@@ -1,0 +1,12 @@
+"""IO-IMPORT fixture: IO/concurrency imports in a sans-IO module."""
+
+import socket
+import threading
+from asyncio import get_event_loop
+
+
+def serve(port):
+    sock = socket.socket()
+    sock.bind(("", port))
+    lock = threading.Lock()
+    return sock, lock, get_event_loop()

@@ -1,0 +1,12 @@
+"""IO-IMPORT clean fixture: pure stdlib data structures only."""
+
+import struct
+from collections import deque
+
+from .sibling import helper  # relative imports stay in-package
+
+_HEADER = struct.Struct("!HH")
+
+
+def enqueue(queue: deque, item):
+    queue.append(helper(item))

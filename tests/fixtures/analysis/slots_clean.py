@@ -1,0 +1,42 @@
+"""Clean fixture for all three SLOT-* rules."""
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TokenTracker:
+    __slots__ = ("ring_id", "rotations")
+
+    def __init__(self, ring_id):
+        self.ring_id = ring_id
+        self.rotations = 0
+
+    def advance(self):
+        self.rotations += 1
+
+
+class RetransmitTracker(TokenTracker):
+    __slots__ = ("pending",)
+
+    def __init__(self, ring_id):
+        super().__init__(ring_id)
+        self.pending = []
+
+
+@dataclass(frozen=True, slots=True)
+class FrameHeader:
+    kind: int
+    length: int
+
+
+class DecodeError(ValueError):
+    """Exception classes are exempt (BaseException has a __dict__)."""
+
+    def __init__(self, reason):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class Kind(Enum):
+    DATA = 1
+    TOKEN = 2

@@ -1,0 +1,15 @@
+"""SLOT-DATACLASS fixture: hot-path dataclasses without slots=True."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    kind: int
+    length: int
+
+
+@dataclass
+class Counters:
+    sent: int = 0
+    received: int = 0

@@ -1,0 +1,14 @@
+"""SLOT-INCOMPLETE fixture: a self attribute missing from __slots__."""
+
+
+class WindowTracker:
+    __slots__ = ("window", "in_flight")
+
+    def __init__(self, window):
+        self.window = window
+        self.in_flight = 0
+        self.peak = 0  # not in __slots__: instances grow a __dict__
+
+    def record(self, n):
+        self.in_flight += n
+        self.peak = max(self.peak, self.in_flight)

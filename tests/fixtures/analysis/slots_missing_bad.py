@@ -1,0 +1,10 @@
+"""SLOT-MISSING fixture: hot-path class with no __slots__ at all."""
+
+
+class TokenTracker:
+    def __init__(self, ring_id):
+        self.ring_id = ring_id
+        self.rotations = 0
+
+    def advance(self):
+        self.rotations += 1

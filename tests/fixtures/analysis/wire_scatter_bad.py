@@ -1,0 +1,9 @@
+"""WIRE-TAG-SCATTER fixture: a codec module minting its own tag."""
+
+TYPE_SHUTDOWN = 12  # new tags belong in repro.wire.tags
+
+_V_FLOAT = 0x0D  # TLV tag minted outside the registry
+
+
+def frame_kind(header):
+    return header[3]

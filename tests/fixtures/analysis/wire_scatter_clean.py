@@ -1,0 +1,9 @@
+"""WIRE-TAG-SCATTER clean fixture: tags imported from the registry."""
+
+from .tags import TYPE_DATA, TYPE_TOKEN, VALUE_NONE
+
+_V_NONE = VALUE_NONE  # aliasing a registry name is fine
+
+
+def is_data(kind):
+    return kind == TYPE_DATA or kind != TYPE_TOKEN

@@ -1,0 +1,12 @@
+"""WIRE-SIZE fixture: declared sizes that drifted from the structs."""
+
+import struct
+
+_HEADER = struct.Struct("!HBB")
+HEADER_SIZE = _HEADER.size  # 5
+
+_BODY = struct.Struct("!QQ")
+BODY_SIZE = _BODY.size  # 16
+FRAME_SIZE = HEADER_SIZE + BODY_SIZE + 4  # 25
+
+_BROKEN = struct.Struct("!Q?z")

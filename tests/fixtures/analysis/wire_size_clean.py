@@ -1,0 +1,12 @@
+"""WIRE-SIZE clean fixture: every declared size matches its struct."""
+
+import struct
+
+_HEADER = struct.Struct("!HBB")
+HEADER_SIZE = _HEADER.size  # 4
+
+_BODY = struct.Struct("!QQ")
+BODY_SIZE = _BODY.size  # 16
+FRAME_SIZE = HEADER_SIZE + BODY_SIZE + 4  # 24
+
+MAX_PAYLOAD = 1400  # no struct involved, plain constant is fine

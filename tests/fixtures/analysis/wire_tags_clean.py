@@ -1,0 +1,18 @@
+"""WIRE-TAG clean fixture: a well-formed registry.
+
+Linted under the configured tag-registry module name.
+"""
+
+TYPE_DATA = 1
+TYPE_TOKEN = 2
+TYPE_JOIN = 3
+
+VALUE_NONE = 0x00
+VALUE_INT = 0x01
+OBJECT_TAG_CLIENT_ID = 0x30  # distinct from every VALUE_* above
+
+TYPE_NAMES = {
+    TYPE_DATA: "data",
+    TYPE_TOKEN: "token",
+    TYPE_JOIN: "join",
+}

@@ -1,0 +1,18 @@
+"""WIRE-TAG-DUP fixture: colliding tag numbers in the registry.
+
+Linted under the configured tag-registry module name.
+"""
+
+TYPE_DATA = 1
+TYPE_TOKEN = 2
+TYPE_JOIN = 2  # collides with TYPE_TOKEN in the frame byte-space
+
+VALUE_NONE = 0x00
+OBJECT_TAG_CLIENT_ID = 0x00  # collides: VALUE_* and OBJECT_TAG_* share
+                             # the TLV tag byte
+
+TYPE_NAMES = {
+    TYPE_DATA: "data",
+    2: "token",
+    2: "join",  # duplicate literal key, silently collapsed by Python
+}

@@ -74,6 +74,22 @@ def test_pinned_churn_meltdown_schedules_converge(seed):
     run_churn_schedule(seed, n=50, operations=10)
 
 
+@pytest.mark.xfail(
+    strict=True,
+    reason="open bug: VS violation in transitional delivery (ROADMAP #6)",
+)
+def test_pinned_vs_violation_partition_during_transitional():
+    """Known-open bug: a hypothesis-found schedule where processes 1
+    and 3 move together from regular configuration (1,2,3) to
+    transitional (1,3) yet deliver different message sets — a virtual
+    synchrony violation in the membership/recovery path.  Pinned here
+    (xfail) so the failing schedule is deterministic instead of a
+    random hypothesis draw; flip to a plain test when the
+    transitional-configuration delivery cut is fixed.
+    """
+    run_schedule(5309, 3, 2)
+
+
 def test_restart_cannot_reuse_ring_id():
     """Regression: an amnesiac restart re-minted an old ring id.
 
